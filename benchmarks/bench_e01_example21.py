@@ -1,0 +1,93 @@
+"""E1 — Example 2.1 / Figure 1: the inclusion-constraint probability.
+
+Regenerates: the paper's closed-form expression for
+p(∀x∀y (S(x,y) ⇒ R(x))) on the Figure 1 TID, and shows that every engine
+(closed form, possible worlds, lifted, DPLL) produces the same number.
+"""
+
+import random
+
+import pytest
+
+from repro.lifted.engine import lifted_probability
+from repro.lineage.build import lineage_of_sentence
+from repro.logic.parser import parse
+from repro.wmc.dpll import dpll_probability
+from repro.workloads.generators import figure1_database
+
+from tables import print_table
+
+QUERY = parse("forall x. forall y. (~S(x,y) | R(x))")
+
+
+def closed_form(p, q):
+    """The formula displayed in Example 2.1."""
+    return (
+        (p[0] + (1 - p[0]) * (1 - q[0]) * (1 - q[1]))
+        * (p[1] + (1 - p[1]) * (1 - q[2]) * (1 - q[3]) * (1 - q[4]))
+        * (1 - q[5])
+    )
+
+
+def sample_instance(seed):
+    rng = random.Random(seed)
+    p = [round(rng.uniform(0.1, 0.9), 3) for _ in range(3)]
+    q = [round(rng.uniform(0.1, 0.9), 3) for _ in range(6)]
+    return figure1_database(p, q), p, q
+
+
+def compute_rows():
+    rows = []
+    for seed in (0, 1, 2):
+        db, p, q = sample_instance(seed)
+        formula = closed_form(p, q)
+        brute = db.brute_force_probability(QUERY)
+        lifted = lifted_probability(QUERY, db)
+        lineage = lineage_of_sentence(QUERY, db)
+        dpll = dpll_probability(lineage.expr, lineage.probabilities())
+        rows.append(
+            (seed, f"{formula:.9f}", f"{brute:.9f}", f"{lifted:.9f}", f"{dpll:.9f}")
+        )
+        assert abs(formula - brute) < 1e-9
+        assert abs(formula - lifted) < 1e-9
+        assert abs(formula - dpll) < 1e-9
+    return rows
+
+
+def test_e01_all_engines_match_closed_form():
+    compute_rows()
+
+
+@pytest.mark.benchmark(group="e01-example21")
+def test_e01_lifted(benchmark):
+    db, _, _ = sample_instance(0)
+    result = benchmark(lifted_probability, QUERY, db)
+    assert 0.0 <= result <= 1.0
+
+
+@pytest.mark.benchmark(group="e01-example21")
+def test_e01_grounded_dpll(benchmark):
+    db, _, _ = sample_instance(0)
+    lineage = lineage_of_sentence(QUERY, db)
+    probabilities = lineage.probabilities()
+    result = benchmark(dpll_probability, lineage.expr, probabilities)
+    assert 0.0 <= result <= 1.0
+
+
+@pytest.mark.benchmark(group="e01-example21")
+def test_e01_possible_worlds(benchmark):
+    db, _, _ = sample_instance(0)
+    result = benchmark(db.brute_force_probability, QUERY)
+    assert 0.0 <= result <= 1.0
+
+
+def main():
+    print_table(
+        "E1: Example 2.1 on Figure 1 (3 random instantiations)",
+        ["seed", "closed form", "possible worlds", "lifted", "DPLL"],
+        compute_rows(),
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,91 @@
+"""E3 — Figure 2: the example FBDD and decision-DNNF.
+
+Regenerates both circuits of Figure 2, validates their defining properties
+(read-once paths; decomposable ∧), and reports size and model counts.
+"""
+
+import itertools
+
+import pytest
+
+from repro.booleans.expr import evaluate
+from repro.kc.fig2 import fig2a_fbdd, fig2a_formula, fig2b_decision_dnnf, fig2b_formula
+from repro.wmc.brute import model_count
+
+from tables import print_table
+
+
+def circuit_rows():
+    rows = []
+    fbdd, _ = fig2a_fbdd()
+    rows.append(
+        (
+            "Fig 2(a) FBDD",
+            "(~X)YZ | XY | XZ",
+            fbdd.size(),
+            fbdd.edge_count(),
+            model_count(fig2a_formula(), variables=range(3)),
+            fbdd.check_fbdd(),
+        )
+    )
+    ddnnf, _ = fig2b_decision_dnnf()
+    rows.append(
+        (
+            "Fig 2(b) dec-DNNF",
+            "(~X)YZU | XYZ | XZU",
+            ddnnf.size(),
+            ddnnf.edge_count(),
+            model_count(fig2b_formula(), variables=range(4)),
+            ddnnf.check_decision_dnnf(),
+        )
+    )
+    return rows
+
+
+def test_e03_fig2a_semantics():
+    circuit, _ = fig2a_fbdd()
+    f = fig2a_formula()
+    for bits in itertools.product((False, True), repeat=3):
+        assignment = dict(enumerate(bits))
+        assert circuit.evaluate(assignment) == evaluate(f, assignment)
+
+
+def test_e03_fig2b_semantics_and_validity():
+    circuit, _ = fig2b_decision_dnnf()
+    f = fig2b_formula()
+    for bits in itertools.product((False, True), repeat=4):
+        assignment = dict(enumerate(bits))
+        assert circuit.evaluate(assignment) == evaluate(f, assignment)
+    assert circuit.check_decision_dnnf()
+
+
+def test_e03_model_counts():
+    assert model_count(fig2a_formula(), variables=range(3)) == 4
+    # models: 0111, 1110, 1111, 1011
+    assert model_count(fig2b_formula(), variables=range(4)) == 4
+
+
+@pytest.mark.benchmark(group="e03-fig2")
+def test_e03_circuit_wmc(benchmark):
+    circuit, _ = fig2b_decision_dnnf()
+    probabilities = {0: 0.5, 1: 0.4, 2: 0.7, 3: 0.2}
+    result = benchmark(circuit.wmc, probabilities)
+    assert 0.0 <= result <= 1.0
+
+
+@pytest.mark.benchmark(group="e03-fig2")
+def test_e03_circuit_construction(benchmark):
+    circuit, _ = benchmark(fig2b_decision_dnnf)
+    assert circuit.size() > 0
+
+
+def main():
+    print_table(
+        "E3: Figure 2 circuits",
+        ["circuit", "formula", "nodes", "edges", "#models", "valid"],
+        circuit_rows(),
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,115 @@
+"""E6 — Sec. 6 / footnote 9: safe vs unsafe plans on the Figure 1 data.
+
+Regenerates the Plan₁ / Plan₂ comparison: both plans compute the same
+deterministic answer but different probabilities; only Plan₂ (which
+⊕-projects S onto x before the join) returns p(Q), and Plan₁ upper-bounds
+it (the first glimpse of Theorem 6.1).
+"""
+
+import random
+
+import pytest
+
+from repro.logic.cq import parse_cq
+from repro.logic.terms import Var
+from repro.plans.plan import (
+    JoinNode,
+    ProjectNode,
+    ScanNode,
+    execute_boolean,
+    project_boolean,
+)
+from repro.plans.safe_plan import safe_plan
+from repro.workloads.generators import figure1_database
+
+from tables import print_table
+
+CQ = parse_cq("R(x), S(x,y)")
+R_ATOM, S_ATOM = CQ.atoms
+
+
+def plans():
+    plan1 = project_boolean(JoinNode(ScanNode(R_ATOM), ScanNode(S_ATOM)))
+    plan2 = project_boolean(
+        JoinNode(ScanNode(R_ATOM), ProjectNode(ScanNode(S_ATOM), (Var("x"),)))
+    )
+    return plan1, plan2
+
+
+def footnote9(p, q):
+    plan1 = 1.0
+    for i, j in [(0, 0), (0, 1), (1, 2), (1, 3), (1, 4)]:
+        plan1 *= 1 - p[i] * q[j]
+    plan1 = 1 - plan1
+    plan2 = 1 - (1 - p[0] * (1 - (1 - q[0]) * (1 - q[1]))) * (
+        1 - p[1] * (1 - (1 - q[2]) * (1 - q[3]) * (1 - q[4]))
+    )
+    return plan1, plan2
+
+
+def comparison_rows():
+    rows = []
+    for seed in (0, 1, 2):
+        rng = random.Random(seed)
+        p = [round(rng.uniform(0.1, 0.9), 3) for _ in range(3)]
+        q = [round(rng.uniform(0.1, 0.9), 3) for _ in range(6)]
+        db = figure1_database(p, q)
+        plan1, plan2 = plans()
+        v1 = execute_boolean(plan1, db)
+        v2 = execute_boolean(plan2, db)
+        f1, f2 = footnote9(p, q)
+        exact = db.brute_force_probability(CQ.to_formula())
+        rows.append(
+            (
+                seed,
+                f"{v1:.6f}",
+                f"{v2:.6f}",
+                f"{exact:.6f}",
+                "yes" if abs(v2 - exact) < 1e-9 else "no",
+                "yes" if v1 >= exact - 1e-12 else "no",
+            )
+        )
+        assert abs(v1 - f1) < 1e-9 and abs(v2 - f2) < 1e-9
+    return rows
+
+
+def test_e06_footnote_formulas_and_safety():
+    rows = comparison_rows()
+    assert all(row[4] == "yes" and row[5] == "yes" for row in rows)
+
+
+def test_e06_generated_safe_plan_equals_plan2():
+    db = figure1_database((0.9, 0.5, 0.4), (0.8, 0.3, 0.7, 0.2, 0.6, 0.5))
+    generated = project_boolean(safe_plan(CQ))
+    _, plan2 = plans()
+    assert abs(
+        execute_boolean(generated, db) - execute_boolean(plan2, db)
+    ) < 1e-12
+
+
+@pytest.mark.benchmark(group="e06-plans")
+def test_e06_safe_plan_execution(benchmark):
+    db = figure1_database((0.9, 0.5, 0.4), (0.8, 0.3, 0.7, 0.2, 0.6, 0.5))
+    plan = project_boolean(safe_plan(CQ))
+    result = benchmark(execute_boolean, plan, db)
+    assert 0.0 <= result <= 1.0
+
+
+@pytest.mark.benchmark(group="e06-plans")
+def test_e06_unsafe_plan_execution(benchmark):
+    db = figure1_database((0.9, 0.5, 0.4), (0.8, 0.3, 0.7, 0.2, 0.6, 0.5))
+    plan1, _ = plans()
+    result = benchmark(execute_boolean, plan1, db)
+    assert 0.0 <= result <= 1.0
+
+
+def main():
+    print_table(
+        "E6: Plan1 vs Plan2 (footnote 9) on Figure 1 data",
+        ["seed", "Plan1", "Plan2", "exact", "Plan2 safe?", "Plan1 ≥ exact?"],
+        comparison_rows(),
+    )
+
+
+if __name__ == "__main__":
+    main()

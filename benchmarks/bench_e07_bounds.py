@@ -1,0 +1,107 @@
+"""E7 — Theorem 6.1: extensional upper/lower bounds for hard queries.
+
+Regenerates the bound sandwich Plan_{D₁} ≤ p(Q) ≤ Plan_D on H0's CQ across
+random databases, plus the min-over-plans ablation the paper describes
+("generate all plans … return the minimum value").
+"""
+
+import pytest
+
+from repro.logic.cq import parse_cq
+from repro.plans.bounds import (
+    extensional_bounds,
+    plan_lower_bound,
+    plan_upper_bound,
+)
+from repro.plans.dissociation import minimal_dissociations
+from repro.workloads.generators import random_tid
+
+from tables import print_table
+
+H0_CQ = parse_cq("R(x), S(x,y), T(y)")
+
+
+def sandwich_rows(seeds=(0, 1, 2, 3, 4)):
+    rows = []
+    for seed in seeds:
+        db = random_tid(seed, 3)
+        exact = db.brute_force_probability(H0_CQ.to_formula())
+        bounds = extensional_bounds(H0_CQ, db)
+        rows.append(
+            (
+                seed,
+                f"{bounds.lower:.6f}",
+                f"{exact:.6f}",
+                f"{bounds.upper:.6f}",
+                f"{bounds.width:.4f}",
+                "yes" if bounds.contains(exact) else "NO",
+            )
+        )
+        assert bounds.contains(exact)
+    return rows
+
+
+def ablation_rows(seed=1):
+    """Min over all plans vs each single plan (paper's pruning discussion)."""
+    db = random_tid(seed, 3)
+    exact = db.brute_force_probability(H0_CQ.to_formula())
+    rows = []
+    for dissociation in minimal_dissociations(H0_CQ):
+        upper = plan_upper_bound(H0_CQ, db, dissociation)
+        lower = plan_lower_bound(H0_CQ, db, dissociation)
+        rows.append(
+            (str(dissociation), f"{lower:.6f}", f"{upper:.6f}",
+             f"{upper - exact:.6f}")
+        )
+    bounds = extensional_bounds(H0_CQ, db)
+    rows.append(
+        ("min/max over plans", f"{bounds.lower:.6f}", f"{bounds.upper:.6f}",
+         f"{bounds.upper - exact:.6f}")
+    )
+    return rows, exact
+
+
+def test_e07_sandwich_holds():
+    sandwich_rows()
+
+
+def test_e07_min_over_plans_is_tighter_or_equal():
+    db = random_tid(1, 3)
+    bounds = extensional_bounds(H0_CQ, db)
+    for upper in bounds.per_plan_upper:
+        assert bounds.upper <= upper + 1e-12
+    for lower in bounds.per_plan_lower:
+        assert bounds.lower >= lower - 1e-12
+
+
+@pytest.mark.benchmark(group="e07-bounds")
+def test_e07_extensional_bounds(benchmark):
+    db = random_tid(0, 5)
+    bounds = benchmark(extensional_bounds, H0_CQ, db)
+    assert bounds.lower <= bounds.upper + 1e-12
+
+
+@pytest.mark.benchmark(group="e07-bounds")
+def test_e07_single_plan_upper(benchmark):
+    db = random_tid(0, 5)
+    dissociation = minimal_dissociations(H0_CQ)[0]
+    result = benchmark(plan_upper_bound, H0_CQ, db, dissociation)
+    assert 0.0 <= result <= 1.0 + 1e-9
+
+
+def main():
+    print_table(
+        "E7: Theorem 6.1 sandwich on H0-CQ (random TIDs, n=3)",
+        ["seed", "lower", "exact", "upper", "width", "contained"],
+        sandwich_rows(),
+    )
+    rows, exact = ablation_rows()
+    print_table(
+        f"E7 ablation: per-plan bounds vs min-over-plans (exact = {exact:.6f})",
+        ["plan (dissociation)", "lower", "upper", "upper slack"],
+        rows,
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,146 @@
+"""E10 — Sec. 8: symmetric databases make H0 (and all of FO²) tractable.
+
+Regenerates:
+  (a) the H0 closed form (with the corrected exponent (n−k)(n−ℓ); see the
+      erratum note in repro.symmetric.h0) against the generic FO² WFOMC
+      engine and the possible-worlds oracle;
+  (b) the polynomial scaling of symmetric evaluation with n;
+  (c) Theorem 8.1 on a panel of FO² queries with quantifier alternation.
+"""
+
+import time
+
+import pytest
+
+from repro.logic.parser import parse
+from repro.symmetric.evaluate import symmetric_probability
+from repro.symmetric.h0 import h0_symmetric_probability
+from repro.symmetric.symmetric_db import SymmetricDatabase
+
+from tables import print_table
+
+H0 = parse("forall x. forall y. (R(x) | S(x,y) | T(y))")
+P_R, P_S, P_T = 0.3, 0.9, 0.4
+
+FO2_PANEL = [
+    "forall x. exists y. S(x,y)",
+    "exists x. forall y. S(x,y)",
+    "forall x. (R(x) -> exists y. (S(x,y) & R(y)))",
+    "forall x. forall y. (S(x,y) -> S(y,x))",
+    "exists x. exists y. (S(x,y) & ~R(x))",
+]
+
+
+def h0_db(n):
+    db = SymmetricDatabase(n)
+    db.add_relation("R", 1, P_R)
+    db.add_relation("S", 2, P_S)
+    db.add_relation("T", 1, P_T)
+    return db
+
+
+def h0_rows(sizes=(1, 2, 3, 5, 10, 25)):
+    rows = []
+    for n in sizes:
+        closed = h0_symmetric_probability(n, P_R, P_S, P_T)
+        wfomc = symmetric_probability(H0, h0_db(n))
+        brute = (
+            h0_db(n).to_tid().brute_force_probability(H0) if n <= 2 else None
+        )
+        rows.append(
+            (
+                n,
+                f"{closed:.6g}",
+                f"{wfomc:.6g}",
+                f"{brute:.6g}" if brute is not None else "-",
+            )
+        )
+        assert abs(closed - wfomc) <= 1e-9 * max(1.0, abs(closed))
+        if brute is not None:
+            assert abs(closed - brute) < 1e-9
+    return rows
+
+
+def scaling_rows(sizes=(50, 100, 200, 400)):
+    rows = []
+    for n in sizes:
+        start = time.perf_counter()
+        value = h0_symmetric_probability(n, P_R, P_S, P_T)
+        elapsed = time.perf_counter() - start
+        rows.append((n, f"{value:.4g}", f"{elapsed * 1000:.2f} ms"))
+    return rows
+
+
+def fo2_rows(n=2):
+    db = SymmetricDatabase(n)
+    db.add_relation("R", 1, 0.7)
+    db.add_relation("S", 2, 0.45)
+    rows = []
+    for text in FO2_PANEL:
+        sentence = parse(text)
+        fast = symmetric_probability(sentence, db)
+        slow = db.to_tid().brute_force_probability(sentence)
+        rows.append(
+            (text, f"{fast:.6f}", f"{slow:.6f}",
+             "ok" if abs(fast - slow) < 1e-9 else "MISMATCH")
+        )
+        assert abs(fast - slow) < 1e-9
+    return rows
+
+
+def test_e10_h0_closed_form_vs_wfomc_vs_brute():
+    h0_rows(sizes=(1, 2, 3, 5))
+
+
+def test_e10_fo2_panel_matches_brute_force():
+    fo2_rows()
+
+
+def test_e10_polynomial_scaling():
+    start = time.perf_counter()
+    h0_symmetric_probability(300, P_R, P_S, P_T)
+    assert time.perf_counter() - start < 5.0
+
+
+@pytest.mark.benchmark(group="e10-symmetric")
+def test_e10_closed_form_n100(benchmark):
+    result = benchmark(h0_symmetric_probability, 100, P_R, P_S, P_T)
+    assert 0.0 <= result <= 1.0
+
+
+@pytest.mark.benchmark(group="e10-symmetric")
+def test_e10_wfomc_h0_n20(benchmark):
+    db = h0_db(20)
+    result = benchmark(symmetric_probability, H0, db)
+    assert 0.0 <= result <= 1.0
+
+
+@pytest.mark.benchmark(group="e10-symmetric")
+def test_e10_wfomc_alternation_n15(benchmark):
+    db = SymmetricDatabase(15)
+    db.add_relation("S", 2, 0.45)
+    sentence = parse("forall x. exists y. S(x,y)")
+    result = benchmark(symmetric_probability, sentence, db)
+    assert 0.0 <= result <= 1.0
+
+
+def main():
+    print_table(
+        "E10a: symmetric H0 — closed form vs FO² WFOMC vs oracle",
+        ["n", "closed form", "WFOMC", "possible worlds"],
+        h0_rows(),
+    )
+    print_table(
+        "E10b: closed-form scaling (polynomial, Sec. 8)",
+        ["n", "p(H0)", "time"],
+        scaling_rows(),
+    )
+    print_table(
+        "E10c: Theorem 8.1 — FO² panel on a symmetric database (n=2)",
+        ["query", "WFOMC", "oracle", "status"],
+        fo2_rows(),
+    )
+
+
+if __name__ == "__main__":
+    main()

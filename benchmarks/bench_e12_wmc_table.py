@@ -1,0 +1,111 @@
+"""E12 — Appendix Figure 3: weights, probabilities, and factors.
+
+Regenerates the full eight-row table for F = (X₁∨X₂)(X₁∨X₃)(X₂∨X₃): per
+assignment, F's value, p(θ), weight(θ), the factor G = (X₁ ⇒ X₂), and
+weight'(θ); then checks the two closed forms the appendix derives:
+weight(F) = w₂w₃ + w₁w₃ + w₁w₂ + w₁w₂w₃ and Z = Π(1 + wᵢ).
+"""
+
+import itertools
+
+import pytest
+
+from repro.booleans.expr import band, bnot, bor, bvar, evaluate
+from repro.mln.markov_network import BooleanMarkovNetwork, Factor
+from repro.wmc.brute import weighted_model_count
+
+from tables import print_table
+
+X1, X2, X3 = bvar(1), bvar(2), bvar(3)
+F = band(bor(X1, X2), bor(X1, X3), bor(X2, X3))
+G = bor(bnot(X1), X2)  # X1 ⇒ X2
+
+W = {1: 2.0, 2: 3.0, 3: 5.0}
+W4 = 1.5
+P = {i: W[i] / (1 + W[i]) for i in W}
+
+
+def figure3_rows():
+    rows = []
+    network = BooleanMarkovNetwork(dict(W), [Factor(W4, G)])
+    for bits in itertools.product((0, 1), repeat=3):
+        theta = {i + 1: bool(b) for i, b in enumerate(bits)}
+        f_value = int(evaluate(F, theta))
+        p_theta = 1.0
+        for i in (1, 2, 3):
+            p_theta *= P[i] if theta[i] else 1 - P[i]
+        weight = 1.0
+        for i in (1, 2, 3):
+            if theta[i]:
+                weight *= W[i]
+        g_value = int(evaluate(G, theta))
+        weight_prime = network.weight_of(theta)
+        rows.append(
+            (
+                f"{bits[0]} {bits[1]} {bits[2]}",
+                f_value,
+                f"{p_theta:.6f}",
+                f"{weight:g}",
+                g_value,
+                f"{weight_prime:g}",
+            )
+        )
+    return rows
+
+
+def test_e12_weight_closed_form():
+    weight, partition = weighted_model_count(F, W)
+    expected = W[2] * W[3] + W[1] * W[3] + W[1] * W[2] + W[1] * W[2] * W[3]
+    assert abs(weight - expected) < 1e-9
+    assert abs(partition - (1 + W[1]) * (1 + W[2]) * (1 + W[3])) < 1e-9
+
+
+def test_e12_probability_equals_weight_over_z():
+    weight, partition = weighted_model_count(F, W)
+    from repro.wmc.brute import brute_force_wmc
+
+    assert abs(weight / partition - brute_force_wmc(F, P)) < 1e-9
+
+
+def test_e12_factored_weight_closed_form():
+    # appendix: weight'(F) = w2w3w4 + w1w3 + w1w2w4 + w1w2w3w4
+    network = BooleanMarkovNetwork(dict(W), [Factor(W4, G)])
+    expected = (
+        W[2] * W[3] * W4
+        + W[1] * W[3]
+        + W[1] * W[2] * W4
+        + W[1] * W[2] * W[3] * W4
+    )
+    assert abs(network.weight_of_formula(F) - expected) < 1e-9
+
+
+def test_e12_table_has_four_models():
+    rows = figure3_rows()
+    assert sum(row[1] for row in rows) == 4
+
+
+@pytest.mark.benchmark(group="e12-wmc")
+def test_e12_weighted_model_count(benchmark):
+    weight, partition = benchmark(weighted_model_count, F, W)
+    assert weight > 0 and partition > 0
+
+
+@pytest.mark.benchmark(group="e12-wmc")
+def test_e12_factored_network(benchmark):
+    network = BooleanMarkovNetwork(dict(W), [Factor(W4, G)])
+    result = benchmark(network.weight_of_formula, F)
+    assert result > 0
+
+
+def main():
+    print_table(
+        f"E12: Figure 3 table (w = {tuple(W.values())}, w4 = {W4})",
+        ["X1 X2 X3", "F", "p(θ)", "weight(θ)", "G", "weight'(θ)"],
+        figure3_rows(),
+    )
+    weight, partition = weighted_model_count(F, W)
+    print(f"\nweight(F) = {weight:g}   Z = {partition:g}   p(F) = {weight / partition:.6f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,145 @@
+"""E13 — Approximation for the "other" queries (Sec. 10's open challenge).
+
+For #P-hard queries the library falls back to approximation. Regenerates a
+convergence table for H0's lineage: naive Monte Carlo (additive guarantee)
+vs Karp–Luby (relative guarantee on the positive DNF), against exact DPLL.
+The Karp–Luby advantage shows on low-probability instances, where naive MC
+needs ~1/p² samples for the same relative error.
+"""
+
+import random
+
+import pytest
+
+from repro.booleans.forms import to_dnf
+from repro.lineage.build import lineage_of_cq
+from repro.logic.cq import parse_cq
+from repro.wmc.dpll import dpll_probability
+from repro.wmc.karp_luby import karp_luby
+from repro.wmc.sampling import monte_carlo_wmc
+from repro.workloads.generators import full_tid, random_tid
+
+from tables import print_table
+
+H0_CQ = parse_cq("R(x), S(x,y), T(y)")
+
+
+def convergence_rows(samples_grid=(200, 1000, 5000, 20000)):
+    db = full_tid(41, 4)
+    lineage = lineage_of_cq(H0_CQ, db)
+    probabilities = lineage.probabilities()
+    exact = dpll_probability(lineage.expr, probabilities)
+    clauses = to_dnf(lineage.expr)
+    rows = []
+    for n_samples in samples_grid:
+        mc = monte_carlo_wmc(
+            lineage.expr, probabilities, rng=random.Random(1), samples=n_samples
+        )
+        kl = karp_luby(
+            clauses, probabilities, rng=random.Random(1), samples=n_samples
+        )
+        rows.append(
+            (
+                n_samples,
+                f"{exact:.6f}",
+                f"{mc.estimate:.6f}",
+                f"{abs(mc.estimate - exact):.6f}",
+                f"{kl.estimate:.6f}",
+                f"{abs(kl.estimate - exact):.6f}",
+            )
+        )
+    return rows, exact
+
+
+def low_probability_rows(samples=20000):
+    db = random_tid(
+        43, 4, probability_range=(0.01, 0.08)
+    )
+    lineage = lineage_of_cq(H0_CQ, db)
+    probabilities = lineage.probabilities()
+    exact = dpll_probability(lineage.expr, probabilities)
+    clauses = to_dnf(lineage.expr)
+    mc = monte_carlo_wmc(
+        lineage.expr, probabilities, rng=random.Random(5), samples=samples
+    )
+    kl = karp_luby(clauses, probabilities, rng=random.Random(5), samples=samples)
+
+    def relative(estimate):
+        return abs(estimate - exact) / exact if exact else float("nan")
+
+    return [
+        ("exact (DPLL)", f"{exact:.3e}", "-"),
+        ("naive MC", f"{mc.estimate:.3e}", f"{relative(mc.estimate):.2%}"),
+        ("Karp–Luby", f"{kl.estimate:.3e}", f"{relative(kl.estimate):.2%}"),
+    ], exact, relative(mc.estimate), relative(kl.estimate)
+
+
+def test_e13_estimators_converge():
+    rows, exact = convergence_rows(samples_grid=(2000, 20000))
+    final_mc_error = float(rows[-1][3])
+    final_kl_error = float(rows[-1][5])
+    assert final_mc_error < 0.03
+    assert final_kl_error < 0.03
+
+
+def test_e13_karp_luby_wins_on_small_probabilities():
+    _, exact, mc_rel, kl_rel = low_probability_rows()
+    assert exact < 0.05
+    assert kl_rel < 0.5  # relative guarantee holds where naive MC degrades
+
+
+@pytest.mark.benchmark(group="e13-approximation")
+def test_e13_monte_carlo(benchmark):
+    db = full_tid(41, 4)
+    lineage = lineage_of_cq(H0_CQ, db)
+    probabilities = lineage.probabilities()
+
+    def run():
+        return monte_carlo_wmc(
+            lineage.expr, probabilities, rng=random.Random(0), samples=2000
+        ).estimate
+
+    assert 0.0 <= benchmark(run) <= 1.0
+
+
+@pytest.mark.benchmark(group="e13-approximation")
+def test_e13_karp_luby(benchmark):
+    db = full_tid(41, 4)
+    lineage = lineage_of_cq(H0_CQ, db)
+    probabilities = lineage.probabilities()
+    clauses = to_dnf(lineage.expr)
+
+    def run():
+        return karp_luby(
+            clauses, probabilities, rng=random.Random(0), samples=2000
+        ).estimate
+
+    assert 0.0 <= benchmark(run) <= 1.0
+
+
+@pytest.mark.benchmark(group="e13-approximation")
+def test_e13_exact_reference(benchmark):
+    db = full_tid(41, 4)
+    lineage = lineage_of_cq(H0_CQ, db)
+    probabilities = lineage.probabilities()
+    result = benchmark(dpll_probability, lineage.expr, probabilities)
+    assert 0.0 <= result <= 1.0
+
+
+def main():
+    rows, exact = convergence_rows()
+    print_table(
+        f"E13a: convergence on H0 lineage (n=4, exact = {exact:.6f})",
+        ["samples", "exact", "MC", "MC |err|", "Karp–Luby", "KL |err|"],
+        rows,
+    )
+    rows, *_ = low_probability_rows()
+    print_table(
+        "E13b: low-probability instance (relative error comparison)",
+        ["estimator", "estimate", "relative error"],
+        rows,
+    )
+
+
+if __name__ == "__main__":
+    main()

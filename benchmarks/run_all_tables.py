@@ -1,0 +1,47 @@
+#!/usr/bin/env python3
+"""Regenerate every experiment table (E1–E13) in one run.
+
+The per-experiment benchmark modules each expose a ``main()`` that prints
+the paper-shaped series; this driver runs them all in order. EXPERIMENTS.md
+records a snapshot of this output.
+
+Run:  python benchmarks/run_all_tables.py
+"""
+
+import importlib
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+MODULES = [
+    "bench_e01_example21",
+    "bench_e02_hardness_scaling",
+    "bench_e03_fig2_circuits",
+    "bench_e04_dichotomy",
+    "bench_e05_inclusion_exclusion",
+    "bench_e06_plans",
+    "bench_e07_bounds",
+    "bench_e08_obdd_sizes",
+    "bench_e09_lifted_vs_grounded",
+    "bench_e10_symmetric",
+    "bench_e11_mln",
+    "bench_e12_wmc_table",
+    "bench_e13_approximation",
+]
+
+
+def main() -> None:
+    total_start = time.perf_counter()
+    for name in MODULES:
+        module = importlib.import_module(name)
+        start = time.perf_counter()
+        module.main()
+        print(f"\n[{name} done in {time.perf_counter() - start:.1f}s]")
+        print("=" * 72)
+    print(f"\nall tables regenerated in {time.perf_counter() - total_start:.1f}s")
+
+
+if __name__ == "__main__":
+    main()

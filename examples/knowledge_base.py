@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Knowledge-base scenario: soft rules over extracted facts (Sec. 3).
+
+Models a small HR knowledge base in the style of the paper's Markov Logic
+example: extracted Manager facts are uncertain, and the soft rule
+"managers are highly compensated" (weight 3.9) correlates tuples.
+
+Shows the full Prop. 3.1 pipeline:
+  MLN  →  symmetric TID + constraint Γ  →  p(Q | Γ) by grounded inference,
+and verifies the translation against direct MLN semantics.
+
+Run:  python examples/knowledge_base.py
+"""
+
+from repro.logic.parser import parse
+from repro.mln.mln import MarkovLogicNetwork, SoftConstraint
+from repro.mln.translate import Encoding, mln_query_probability, mln_to_tid
+
+DOMAIN = ("ann", "bob")
+
+
+def main() -> None:
+    rule = parse("Manager(m, e) -> HighComp(m)")
+    mln = MarkovLogicNetwork(
+        [SoftConstraint(3.9, rule)],
+        domain=DOMAIN,
+    )
+    print(f"MLN: (3.9, Manager(m,e) ⇒ HighComp(m)) over domain {DOMAIN}")
+    print(f"groundings: {len(mln.ground())}, possible tuples: "
+          f"{len(mln.possible_tuples())}")
+    print()
+
+    # --- the Prop. 3.1 translation -------------------------------------------
+    encoded = mln_to_tid(mln, Encoding.OR)
+    print("TID encoding (or-encoding):")
+    print(f"  auxiliary relations: {encoded.auxiliary_predicates}")
+    print(f"  aux tuple probability: "
+          f"{encoded.database.probability_of_fact('Aux0', ('ann', 'bob')):.4f} "
+          f"(= 1/w; the paper's 1/(w-1) is the weight)")
+    print(f"  constraint Γ: {encoded.constraint}")
+    print(f"  the encoded database is symmetric: "
+          f"{encoded.database.is_symmetric()}")
+    print()
+
+    # --- queries: correlations emerge from the constraint -------------------
+    queries = {
+        "P(HighComp(ann))": "HighComp('ann')",
+        "P(HighComp(ann) | Manager(ann,bob))": None,  # computed below
+        "P(some manager exists)": "exists m. exists e. Manager(m,e)",
+        "P(every manager highly compensated)": (
+            "forall m. forall e. (Manager(m,e) -> HighComp(m))"
+        ),
+    }
+
+    base = mln.probability(parse("HighComp('ann')"))
+    joint = mln.probability(parse("Manager('ann','bob') & HighComp('ann')"))
+    evidence = mln.probability(parse("Manager('ann','bob')"))
+    print(f"P(HighComp(ann))                      = {base:.6f}")
+    print(f"P(HighComp(ann) | Manager(ann, bob))  = {joint / evidence:.6f}")
+    print("  -> seeing a managed employee raises the probability: the TID +")
+    print("     constraint really does encode correlations (Question 3.1).")
+    print()
+
+    # --- verify Prop. 3.1 on every closed query ------------------------------
+    print("Prop. 3.1 check (direct MLN vs TID+Γ, both encodings):")
+    for label, text in queries.items():
+        if text is None:
+            continue
+        sentence = parse(text)
+        direct = mln.probability(sentence)
+        via_or = mln_query_probability(mln, sentence, Encoding.OR)
+        via_iff = mln_query_probability(mln, sentence, Encoding.IFF)
+        status = "ok" if abs(direct - via_or) < 1e-9 and abs(direct - via_iff) < 1e-9 else "MISMATCH"
+        print(f"  {label:40s} {direct:.6f}  [{status}]")
+
+
+if __name__ == "__main__":
+    main()

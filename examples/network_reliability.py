@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Network reliability with recursive probabilistic datalog.
+
+The paper's Theorem 2.2 hardness proof reduces from network reliability
+(Provan–Ball); ProbLog [51] made the same machinery a programming model.
+This example computes two-terminal reliability of a small data-center
+topology with a recursive datalog program over a TID of unreliable links:
+the engine grounds the program to Boolean lineage by a fixpoint and counts
+models exactly.
+
+Run:  python examples/network_reliability.py
+"""
+
+import itertools
+
+from repro.core.tid import TupleIndependentDatabase
+from repro.datalog.program import DatalogProgram
+
+
+def topology() -> dict[tuple, float]:
+    """A two-level spine/leaf network with per-link availability."""
+    links = {}
+    for spine in ("s1", "s2"):
+        for leaf in ("l1", "l2", "l3"):
+            links[(spine, leaf)] = 0.9
+            links[(leaf, spine)] = 0.9
+    links[("gw", "s1")] = 0.95
+    links[("gw", "s2")] = 0.8
+    return links
+
+
+def brute_force_reachability(links, source, target) -> float:
+    items = sorted(links.items(), key=repr)
+    total = 0.0
+    for bits in itertools.product((False, True), repeat=len(items)):
+        weight = 1.0
+        present = set()
+        for include, ((u, v), p) in zip(bits, items):
+            weight *= p if include else 1.0 - p
+            if include:
+                present.add((u, v))
+        frontier, seen = {source}, set()
+        reached = False
+        while frontier:
+            node = frontier.pop()
+            if node == target:
+                reached = True
+                break
+            seen.add(node)
+            frontier.update(v for (u, v) in present if u == node and v not in seen)
+        if reached:
+            total += weight
+    return total
+
+
+def main() -> None:
+    links = topology()
+    db = TupleIndependentDatabase()
+    for (u, v), p in links.items():
+        db.add_fact("link", (u, v), p)
+
+    program = DatalogProgram(db)
+    program.add_rule("conn(x,y) :- link(x,y)")
+    program.add_rule("conn(x,z) :- conn(x,y), link(y,z)")
+
+    evaluation = program.evaluate()
+    print(f"fixpoint reached in {evaluation.rounds} rounds; "
+          f"{len(evaluation.lineages)} derived facts")
+    print()
+
+    print("P(gateway reaches leaf):")
+    for leaf in ("l1", "l2", "l3"):
+        p = evaluation.probability(("conn", ("gw", leaf)))
+        print(f"  gw → {leaf}: {p:.6f}")
+    print()
+
+    # cross-check one value against exhaustive link-subset enumeration
+    target = ("gw", "l2")
+    fast = evaluation.probability(("conn", target))
+    slow = brute_force_reachability(links, *target)
+    print(f"validation gw → l2: datalog {fast:.9f} vs enumeration "
+          f"{slow:.9f} ({'ok' if abs(fast - slow) < 1e-9 else 'MISMATCH'})")
+    print()
+
+    # what-if: degrade the gw→s1 link
+    db.add_fact("link", ("gw", "s1"), 0.5)
+    degraded = DatalogProgram(db)
+    degraded.add_rule("conn(x,y) :- link(x,y)")
+    degraded.add_rule("conn(x,z) :- conn(x,y), link(y,z)")
+    p_before = fast
+    p_after = degraded.evaluate().probability(("conn", target))
+    print(f"what-if (gw→s1 availability 0.95 → 0.5): "
+          f"P(gw→l2) {p_before:.4f} → {p_after:.4f}")
+
+
+if __name__ == "__main__":
+    main()

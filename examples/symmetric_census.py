@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Symmetric databases: lifted FO² inference at scale (Sec. 8).
+
+A "census" scenario: a population of n people, each smokes with probability
+0.3; any ordered pair are friends with probability 0.1. Every tuple of a
+relation has the same probability — a *symmetric* database — so FO² queries
+are answerable in time polynomial in n (Theorem 8.1), even queries that are
+#P-hard on asymmetric databases (like H0, Theorem 2.2).
+
+Run:  python examples/symmetric_census.py
+"""
+
+import time
+
+from repro.logic.parser import parse
+from repro.symmetric.evaluate import symmetric_probability
+from repro.symmetric.h0 import h0_symmetric_probability
+from repro.symmetric.symmetric_db import SymmetricDatabase
+
+
+def main() -> None:
+    queries = {
+        "everyone has a friend": "forall x. exists y. Friends(x,y)",
+        "some smoker befriends a non-smoker": (
+            "exists x. exists y. (Smokes(x) & Friends(x,y) & ~Smokes(y))"
+        ),
+        "friendship is symmetric": (
+            "forall x. forall y. (Friends(x,y) -> Friends(y,x))"
+        ),
+        "smokers only befriend smokers": (
+            "forall x. forall y. ((Smokes(x) & Friends(x,y)) -> Smokes(y))"
+        ),
+    }
+
+    print("Symmetric census: P(Smokes) = 0.3, P(Friends) = 0.1")
+    print(f"{'n':>4s}  " + "  ".join(f"{k[:24]:>26s}" for k in queries))
+    for n in (2, 5, 10, 20):
+        db = SymmetricDatabase(n)
+        db.add_relation("Smokes", 1, 0.3)
+        db.add_relation("Friends", 2, 0.1)
+        row = []
+        for text in queries.values():
+            row.append(symmetric_probability(parse(text), db))
+        print(f"{n:>4d}  " + "  ".join(f"{v:>26.6g}" for v in row))
+    print()
+
+    # --- brute-force validation at n = 2 -------------------------------------
+    db = SymmetricDatabase(2)
+    db.add_relation("Smokes", 1, 0.3)
+    db.add_relation("Friends", 2, 0.1)
+    print("validation against possible-world enumeration (n = 2):")
+    for label, text in queries.items():
+        sentence = parse(text)
+        fast = symmetric_probability(sentence, db)
+        slow = db.to_tid().brute_force_probability(sentence)
+        print(f"  {label:36s} {fast:.6f} vs {slow:.6f} "
+              f"({'ok' if abs(fast - slow) < 1e-9 else 'MISMATCH'})")
+    print()
+
+    # --- H0: #P-hard in general, polynomial here (Sec. 8) ---------------------
+    print("H0 = ∀x∀y (R(x) ∨ S(x,y) ∨ T(y)) on symmetric databases:")
+    for n in (10, 50, 150):
+        start = time.perf_counter()
+        value = h0_symmetric_probability(n, 0.3, 0.9, 0.4)
+        elapsed = time.perf_counter() - start
+        print(f"  n={n:4d}: p = {value:.6g}   ({elapsed * 1000:.2f} ms)")
+    print("  (closed form; the generic FO² WFOMC engine gives identical "
+          "values — see tests/test_symmetric.py)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+"""prodb — a probabilistic database engine.
+
+A from-scratch reproduction of Dan Suciu, *Probabilistic Databases for All*
+(PODS 2020): tuple-independent databases, lifted inference with
+inclusion/exclusion, safe and unsafe extensional plans with guaranteed
+bounds, grounded inference via DPLL / knowledge compilation, MLN-style
+correlations through constraints, and symmetric-database FO² model counting.
+
+Quickstart::
+
+    from repro import ProbabilisticDatabase
+
+    pdb = ProbabilisticDatabase()
+    pdb.add_fact("R", ("a1",), 0.5)
+    pdb.add_fact("S", ("a1", "b1"), 0.7)
+    answer = pdb.probability("R(x), S(x,y)")
+    print(answer.probability, answer.method)
+"""
+
+from .core.pdb import Method, ProbabilisticDatabase, QueryAnswer
+from .core.tid import TupleIndependentDatabase
+from .lifted.engine import LiftedEngine, lifted_probability
+from .lifted.errors import NonLiftableError, UnsupportedQueryError
+from .lifted.safety import Complexity, decide_safety
+from .logic.parser import parse, parse_sentence
+from .logic.cq import parse_cq, parse_ucq
+from .symmetric.symmetric_db import SymmetricDatabase
+from .symmetric.evaluate import symmetric_probability
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Method",
+    "ProbabilisticDatabase",
+    "QueryAnswer",
+    "TupleIndependentDatabase",
+    "LiftedEngine",
+    "lifted_probability",
+    "NonLiftableError",
+    "UnsupportedQueryError",
+    "Complexity",
+    "decide_safety",
+    "parse",
+    "parse_sentence",
+    "parse_cq",
+    "parse_ucq",
+    "SymmetricDatabase",
+    "symmetric_probability",
+    "__version__",
+]

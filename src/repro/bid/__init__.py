@@ -1,0 +1,5 @@
+"""Block-independent-disjoint databases (the BID model of the paper's intro)."""
+
+from .model import Block, BlockIndependentDatabase
+
+__all__ = ["Block", "BlockIndependentDatabase"]

@@ -1,0 +1,300 @@
+"""Boolean expressions over integer-indexed variables.
+
+Lineages (Sec. 7 of the paper) are Boolean formulas whose variables stand for
+tuples of a TID. This module provides an immutable, structurally-hashed AST
+with light simplification at construction time:
+
+* ``BAnd``/``BOr`` are n-ary, flatten, deduplicate, sort their children into
+  a canonical order and apply unit/complement laws;
+* ``BNot`` cancels double negation;
+* every node carries a precomputed structural key, so formulas that are
+  syntactically equal modulo child order compare and hash equal — this is the
+  cache key used by the DPLL model counter.
+
+Variables are plain ints. The mapping from ints back to database tuples lives
+in :class:`repro.lineage.build.LineageResult`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Mapping
+
+
+class BExpr:
+    """Base class of Boolean expression nodes."""
+
+    __slots__ = ()
+
+    _key: tuple
+
+    def key(self) -> tuple:
+        """A structural key: equal keys ⇔ equal expressions."""
+        return self._key
+
+    def __and__(self, other: "BExpr") -> "BExpr":
+        return BAnd.of((self, other))
+
+    def __or__(self, other: "BExpr") -> "BExpr":
+        return BOr.of((self, other))
+
+    def __invert__(self) -> "BExpr":
+        return bnot(self)
+
+    def children(self) -> tuple["BExpr", ...]:
+        return ()
+
+    def walk(self) -> Iterator["BExpr"]:
+        yield self
+        for child in self.children():
+            yield from child.walk()
+
+    def variables(self) -> frozenset[int]:
+        """The set of variable indices occurring in the expression."""
+        out: set[int] = set()
+        stack: list[BExpr] = [self]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, BVar):
+                out.add(node.index)
+            else:
+                stack.extend(node.children())
+        return frozenset(out)
+
+    def node_count(self) -> int:
+        """Number of AST nodes (duplicates counted per occurrence)."""
+        return 1 + sum(c.node_count() for c in self.children())
+
+    def is_constant(self) -> bool:
+        return isinstance(self, (BTrue, BFalse))
+
+
+@dataclass(frozen=True, slots=True, eq=False)
+class BTrue(BExpr):
+    """The constant true."""
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "_key", ("1",))
+
+    _key: tuple = field(init=False, repr=False)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, BTrue)
+
+    def __hash__(self) -> int:
+        return hash(("1",))
+
+    def __str__(self) -> str:
+        return "true"
+
+
+@dataclass(frozen=True, slots=True, eq=False)
+class BFalse(BExpr):
+    """The constant false."""
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "_key", ("0",))
+
+    _key: tuple = field(init=False, repr=False)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, BFalse)
+
+    def __hash__(self) -> int:
+        return hash(("0",))
+
+    def __str__(self) -> str:
+        return "false"
+
+
+B_TRUE = BTrue()
+B_FALSE = BFalse()
+
+
+@dataclass(frozen=True, slots=True, eq=False)
+class BVar(BExpr):
+    """A Boolean variable, identified by a non-negative integer index."""
+
+    index: int
+    _key: tuple = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "_key", ("v", self.index))
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, BVar) and other.index == self.index
+
+    def __hash__(self) -> int:
+        return hash(("v", self.index))
+
+    def __str__(self) -> str:
+        return f"x{self.index}"
+
+
+@dataclass(frozen=True, slots=True, eq=False)
+class BNot(BExpr):
+    """Negation. Build via :func:`bnot` to get simplification."""
+
+    sub: BExpr
+    _key: tuple = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "_key", ("n", self.sub.key()))
+
+    def children(self) -> tuple[BExpr, ...]:
+        return (self.sub,)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, BNot) and other._key == self._key
+
+    def __hash__(self) -> int:
+        return hash(self._key)
+
+    def __str__(self) -> str:
+        return f"~{_wrap(self.sub)}"
+
+
+def bnot(expr: BExpr) -> BExpr:
+    """Negation with double-negation and constant simplification."""
+    if isinstance(expr, BTrue):
+        return B_FALSE
+    if isinstance(expr, BFalse):
+        return B_TRUE
+    if isinstance(expr, BNot):
+        return expr.sub
+    return BNot(expr)
+
+
+def _gather(cls, parts: Iterable[BExpr]) -> list[BExpr]:
+    out: list[BExpr] = []
+    for part in parts:
+        if isinstance(part, cls):
+            out.extend(part.parts)
+        else:
+            out.append(part)
+    return out
+
+
+@dataclass(frozen=True, slots=True, eq=False)
+class BAnd(BExpr):
+    """N-ary conjunction with canonically ordered children."""
+
+    parts: tuple[BExpr, ...]
+    _key: tuple = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "_key", ("a", tuple(p.key() for p in self.parts)))
+
+    @staticmethod
+    def of(parts: Iterable[BExpr]) -> BExpr:
+        flat = _gather(BAnd, parts)
+        seen: dict[tuple, BExpr] = {}
+        for p in flat:
+            if isinstance(p, BFalse):
+                return B_FALSE
+            if isinstance(p, BTrue):
+                continue
+            seen.setdefault(p.key(), p)
+        # complement law: x ∧ ¬x = false
+        for p in seen.values():
+            if isinstance(p, BNot) and p.sub.key() in seen:
+                return B_FALSE
+        ordered = tuple(seen[k] for k in sorted(seen))
+        if not ordered:
+            return B_TRUE
+        if len(ordered) == 1:
+            return ordered[0]
+        return BAnd(ordered)
+
+    def children(self) -> tuple[BExpr, ...]:
+        return self.parts
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, BAnd) and other._key == self._key
+
+    def __hash__(self) -> int:
+        return hash(self._key)
+
+    def __str__(self) -> str:
+        return " & ".join(_wrap(p) for p in self.parts)
+
+
+@dataclass(frozen=True, slots=True, eq=False)
+class BOr(BExpr):
+    """N-ary disjunction with canonically ordered children."""
+
+    parts: tuple[BExpr, ...]
+    _key: tuple = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "_key", ("o", tuple(p.key() for p in self.parts)))
+
+    @staticmethod
+    def of(parts: Iterable[BExpr]) -> BExpr:
+        flat = _gather(BOr, parts)
+        seen: dict[tuple, BExpr] = {}
+        for p in flat:
+            if isinstance(p, BTrue):
+                return B_TRUE
+            if isinstance(p, BFalse):
+                continue
+            seen.setdefault(p.key(), p)
+        for p in seen.values():
+            if isinstance(p, BNot) and p.sub.key() in seen:
+                return B_TRUE
+        ordered = tuple(seen[k] for k in sorted(seen))
+        if not ordered:
+            return B_FALSE
+        if len(ordered) == 1:
+            return ordered[0]
+        return BOr(ordered)
+
+    def children(self) -> tuple[BExpr, ...]:
+        return self.parts
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, BOr) and other._key == self._key
+
+    def __hash__(self) -> int:
+        return hash(self._key)
+
+    def __str__(self) -> str:
+        return " | ".join(_wrap(p) for p in self.parts)
+
+
+def _wrap(expr: BExpr) -> str:
+    if isinstance(expr, (BVar, BTrue, BFalse, BNot)):
+        return str(expr)
+    return f"({expr})"
+
+
+def band(*parts: BExpr) -> BExpr:
+    """Conjunction helper."""
+    return BAnd.of(parts)
+
+
+def bor(*parts: BExpr) -> BExpr:
+    """Disjunction helper."""
+    return BOr.of(parts)
+
+
+def bvar(index: int) -> BVar:
+    """Variable helper."""
+    return BVar(index)
+
+
+def evaluate(expr: BExpr, assignment: Mapping[int, bool]) -> bool:
+    """Evaluate under a total assignment of the expression's variables."""
+    if isinstance(expr, BTrue):
+        return True
+    if isinstance(expr, BFalse):
+        return False
+    if isinstance(expr, BVar):
+        return bool(assignment[expr.index])
+    if isinstance(expr, BNot):
+        return not evaluate(expr.sub, assignment)
+    if isinstance(expr, BAnd):
+        return all(evaluate(p, assignment) for p in expr.parts)
+    if isinstance(expr, BOr):
+        return any(evaluate(p, assignment) for p in expr.parts)
+    raise TypeError(f"unknown node {expr!r}")

@@ -1,0 +1,11 @@
+"""Core data model and public façade."""
+
+from .tid import TupleIndependentDatabase
+from .pdb import Method, ProbabilisticDatabase, QueryAnswer
+
+__all__ = [
+    "TupleIndependentDatabase",
+    "Method",
+    "ProbabilisticDatabase",
+    "QueryAnswer",
+]

@@ -1,0 +1,113 @@
+"""Probabilistic aggregates over query answers.
+
+Simple but practically important derived quantities:
+
+* expected count of answers (linearity of expectation over per-answer
+  marginals),
+* count distribution / variance for a CQ's answer set (exact, from the
+  per-answer lineages, when the answers' lineages are independent enough to
+  enumerate — otherwise brute force over the joint lineage),
+* top-k answers by marginal probability (the ranking primitive of
+  probabilistic query processing).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..booleans.expr import BExpr, evaluate
+from ..lineage.build import answer_lineages
+from ..core.tid import TupleIndependentDatabase
+from ..logic.cq import ConjunctiveQuery
+from ..logic.terms import Var
+from ..wmc.dpll import DPLLCounter
+
+
+@dataclass(frozen=True)
+class CountDistribution:
+    """Exact distribution of the number of true answers."""
+
+    probabilities: tuple[float, ...]  # index = count
+
+    @property
+    def expectation(self) -> float:
+        return sum(k * p for k, p in enumerate(self.probabilities))
+
+    @property
+    def variance(self) -> float:
+        mean = self.expectation
+        second = sum(k * k * p for k, p in enumerate(self.probabilities))
+        return second - mean * mean
+
+    def cdf(self, k: int) -> float:
+        return sum(self.probabilities[: k + 1])
+
+
+def expected_answer_count(
+    query: ConjunctiveQuery,
+    head: Sequence[Var | str],
+    db: TupleIndependentDatabase,
+) -> float:
+    """E[#answers] = Σ per-answer marginals (linearity of expectation)."""
+    head_vars = tuple(Var(h) if isinstance(h, str) else h for h in head)
+    lineages, pool = answer_lineages(query, head_vars, db)
+    probabilities = pool.probability_map()
+    counter = DPLLCounter()
+    return sum(
+        counter.run(expr, probabilities).probability
+        for expr in lineages.values()
+    )
+
+
+def answer_count_distribution(
+    query: ConjunctiveQuery,
+    head: Sequence[Var | str],
+    db: TupleIndependentDatabase,
+    max_variables: int = 22,
+) -> CountDistribution:
+    """The exact distribution of the answer count.
+
+    Enumerates assignments over the union of the answers' lineage variables;
+    guarded by *max_variables* because this is exponential.
+    """
+    head_vars = tuple(Var(h) if isinstance(h, str) else h for h in head)
+    lineages, pool = answer_lineages(query, head_vars, db)
+    exprs: list[BExpr] = list(lineages.values())
+    variables = sorted(set().union(*(e.variables() for e in exprs)) if exprs else set())
+    if len(variables) > max_variables:
+        raise ValueError(
+            f"{len(variables)} lineage variables exceed the exact limit "
+            f"{max_variables}"
+        )
+    probability_of = pool.probability_map()
+    counts = [0.0] * (len(exprs) + 1)
+    for bits in itertools.product((False, True), repeat=len(variables)):
+        assignment = dict(zip(variables, bits))
+        weight = 1.0
+        for var, value in assignment.items():
+            p = probability_of[var]
+            weight *= p if value else 1.0 - p
+        true_answers = sum(1 for e in exprs if evaluate(e, assignment))
+        counts[true_answers] += weight
+    return CountDistribution(tuple(counts))
+
+
+def top_k_answers(
+    query: ConjunctiveQuery,
+    head: Sequence[Var | str],
+    db: TupleIndependentDatabase,
+    k: int,
+) -> list[tuple[tuple, float]]:
+    """The k most probable answers, sorted by decreasing marginal."""
+    head_vars = tuple(Var(h) if isinstance(h, str) else h for h in head)
+    lineages, pool = answer_lineages(query, head_vars, db)
+    probabilities = pool.probability_map()
+    counter = DPLLCounter()
+    scored = [
+        (values, counter.run(expr, probabilities).probability)
+        for values, expr in lineages.items()
+    ]
+    scored.sort(key=lambda pair: (-pair[1], repr(pair[0])))
+    return scored[:k]

@@ -1,0 +1,357 @@
+"""The public façade: a probabilistic database with strategy dispatch.
+
+``ProbabilisticDatabase.probability(query)`` picks the best inference route
+in decreasing order of asymptotic quality, mirroring the paper's narrative:
+
+1. **lifted** — the rule engine of Sec. 5 (polynomial, exact; fails exactly
+   on non-liftable queries);
+2. **safe plan** — extensional evaluation inside the relational engine for
+   hierarchical self-join-free CQs (Sec. 6);
+3. **dpll** — grounded inference: lineage + exact DPLL model counting with
+   caching and components (Sec. 7), when the lineage is small enough;
+4. **karp-luby** — the DNF FPRAS, when the lineage is a positive DNF;
+5. **monte-carlo** — naive sampling with an (ε, δ) additive guarantee.
+
+Each answer records which route fired and carries the lifted rule trace or
+the approximation certificate.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Iterable, Optional, Sequence, Union
+
+from ..booleans.forms import FormSizeExceeded, to_dnf
+from ..lifted.engine import LiftedEngine, RuleApplication, lifted_probability
+from ..lifted.errors import NonLiftableError, UnsupportedQueryError
+from ..lineage.build import (
+    Lineage,
+    answer_lineages,
+    lineage_of_cq,
+    lineage_of_sentence,
+    lineage_of_ucq,
+)
+from ..logic.cq import (
+    ConjunctiveQuery,
+    UnionOfConjunctiveQueries,
+    parse_cq,
+    parse_ucq,
+)
+from ..logic.formulas import Formula
+from ..logic.parser import ParseError, parse_sentence
+from ..logic.terms import Var
+from ..plans.plan import execute, execute_boolean, project_boolean
+from ..plans.safe_plan import UnsafePlanError, safe_plan
+from ..wmc.dpll import DPLLCounter
+from ..wmc.karp_luby import karp_luby
+from ..wmc.sampling import monte_carlo_wmc
+from .tid import TupleIndependentDatabase
+
+Query = Union[str, Formula, ConjunctiveQuery, UnionOfConjunctiveQueries]
+
+
+class Method(Enum):
+    """Inference routes, best first."""
+
+    LIFTED = "lifted"
+    SAFE_PLAN = "safe-plan"
+    DPLL = "dpll"
+    KARP_LUBY = "karp-luby"
+    MONTE_CARLO = "monte-carlo"
+    BRUTE_FORCE = "brute-force"
+    AUTO = "auto"
+
+
+@dataclass
+class QueryAnswer:
+    """A probability plus how it was obtained."""
+
+    probability: float
+    method: Method
+    exact: bool
+    detail: str = ""
+    lifted_trace: tuple[RuleApplication, ...] = ()
+
+    def __float__(self) -> float:
+        return self.probability
+
+
+@dataclass
+class ProbabilisticDatabase:
+    """A TID plus every inference engine of the library."""
+
+    tid: TupleIndependentDatabase = field(default_factory=TupleIndependentDatabase)
+    exact_lineage_limit: int = 40
+    mc_epsilon: float = 0.02
+    mc_delta: float = 0.05
+    seed: Optional[int] = None
+
+    # -- data definition -----------------------------------------------------
+
+    def add_relation(self, name: str, attributes: Sequence[str]):
+        return self.tid.add_relation(name, attributes)
+
+    def add_fact(self, name: str, values: Iterable, probability: float = 1.0) -> None:
+        self.tid.add_fact(name, values, probability)
+
+    def set_domain(self, domain: Iterable) -> None:
+        self.tid.explicit_domain = frozenset(domain)
+
+    @property
+    def domain(self) -> tuple:
+        return self.tid.domain()
+
+    # -- query parsing ---------------------------------------------------------
+
+    @staticmethod
+    def parse_query(query: Query) -> Formula | ConjunctiveQuery | UnionOfConjunctiveQueries:
+        """Accept FO syntax, CQ shorthand ("R(x), S(x,y)") or UCQ shorthand."""
+        if not isinstance(query, str):
+            return query
+        text = query.strip()
+        try:
+            return parse_sentence(text)
+        except ParseError:
+            pass
+        if "|" in text:
+            return parse_ucq(text)
+        return parse_cq(text)
+
+    # -- inference routes ---------------------------------------------------------
+
+    def probability(
+        self, query: Query, method: Method = Method.AUTO
+    ) -> QueryAnswer:
+        """Evaluate a Boolean query; see the module docstring for routing."""
+        parsed = self.parse_query(query)
+        if isinstance(parsed, Formula) and parsed.free_variables():
+            raise ValueError(
+                "probability() takes Boolean queries; use answers() for "
+                "queries with free variables"
+            )
+        if method is Method.AUTO:
+            return self._auto(parsed)
+        if method is Method.LIFTED:
+            return self._lifted(parsed)
+        if method is Method.SAFE_PLAN:
+            return self._safe_plan(parsed)
+        if method is Method.DPLL:
+            return self._dpll(parsed)
+        if method is Method.KARP_LUBY:
+            return self._karp_luby(parsed)
+        if method is Method.MONTE_CARLO:
+            return self._monte_carlo(parsed)
+        if method is Method.BRUTE_FORCE:
+            return self._brute(parsed)
+        raise ValueError(f"unknown method {method}")
+
+    def _auto(self, parsed) -> QueryAnswer:
+        try:
+            return self._lifted(parsed)
+        except (NonLiftableError, UnsupportedQueryError) as error:
+            blocking = str(getattr(error, "subquery", "") or error)
+        lineage = self._lineage(parsed)
+        if lineage.variable_count <= self.exact_lineage_limit:
+            answer = self._dpll(parsed, lineage)
+            answer.detail += f" (lifted failed on: {blocking})"
+            return answer
+        try:
+            answer = self._karp_luby(parsed, lineage)
+            answer.detail += f" (lifted failed on: {blocking})"
+            return answer
+        except FormSizeExceeded:
+            answer = self._monte_carlo(parsed, lineage)
+            answer.detail += f" (lifted failed on: {blocking})"
+            return answer
+
+    def _lifted(self, parsed) -> QueryAnswer:
+        if isinstance(parsed, (ConjunctiveQuery, UnionOfConjunctiveQueries)):
+            engine = LiftedEngine(self.tid, record_trace=True)
+            probability = engine.probability(parsed)
+            trace = tuple(engine.trace)
+        else:
+            probability = lifted_probability(parsed, self.tid)
+            trace = ()
+        return QueryAnswer(
+            probability,
+            Method.LIFTED,
+            exact=True,
+            detail="lifted inference (rules of Sec. 5)",
+            lifted_trace=trace,
+        )
+
+    def _safe_plan(self, parsed) -> QueryAnswer:
+        if not isinstance(parsed, ConjunctiveQuery):
+            raise UnsafePlanError("safe plans apply to conjunctive queries")
+        plan = safe_plan(parsed)
+        probability = execute_boolean(project_boolean(plan), self.tid)
+        return QueryAnswer(
+            probability,
+            Method.SAFE_PLAN,
+            exact=True,
+            detail=f"safe plan: {project_boolean(plan)}",
+        )
+
+    def _lineage(self, parsed) -> Lineage:
+        if isinstance(parsed, ConjunctiveQuery):
+            return lineage_of_cq(parsed, self.tid)
+        if isinstance(parsed, UnionOfConjunctiveQueries):
+            return lineage_of_ucq(parsed, self.tid)
+        return lineage_of_sentence(parsed, self.tid)
+
+    def _dpll(self, parsed, lineage: Optional[Lineage] = None) -> QueryAnswer:
+        lineage = lineage if lineage is not None else self._lineage(parsed)
+        counter = DPLLCounter()
+        result = counter.run(lineage.expr, lineage.probabilities())
+        return QueryAnswer(
+            result.probability,
+            Method.DPLL,
+            exact=True,
+            detail=(
+                f"grounded: {lineage.variable_count} lineage variables, "
+                f"{result.statistics.shannon_expansions} Shannon expansions, "
+                f"{result.statistics.cache_hits} cache hits"
+            ),
+        )
+
+    def _karp_luby(self, parsed, lineage: Optional[Lineage] = None) -> QueryAnswer:
+        lineage = lineage if lineage is not None else self._lineage(parsed)
+        clauses = to_dnf(lineage.expr)
+        rng = random.Random(self.seed)
+        estimate = karp_luby(
+            clauses,
+            lineage.probabilities(),
+            epsilon=self.mc_epsilon,
+            delta=self.mc_delta,
+            rng=rng,
+        )
+        return QueryAnswer(
+            estimate.estimate,
+            Method.KARP_LUBY,
+            exact=False,
+            detail=(
+                f"Karp–Luby FPRAS: {estimate.samples} samples, relative "
+                f"error ≤ {estimate.epsilon} w.p. ≥ {1 - estimate.delta}"
+            ),
+        )
+
+    def _monte_carlo(self, parsed, lineage: Optional[Lineage] = None) -> QueryAnswer:
+        lineage = lineage if lineage is not None else self._lineage(parsed)
+        rng = random.Random(self.seed)
+        estimate = monte_carlo_wmc(
+            lineage.expr,
+            lineage.probabilities(),
+            epsilon=self.mc_epsilon,
+            delta=self.mc_delta,
+            rng=rng,
+        )
+        return QueryAnswer(
+            estimate.estimate,
+            Method.MONTE_CARLO,
+            exact=False,
+            detail=(
+                f"naive Monte Carlo: {estimate.samples} samples, additive "
+                f"error ≤ {estimate.epsilon} w.p. ≥ {1 - estimate.delta}"
+            ),
+        )
+
+    def _brute(self, parsed) -> QueryAnswer:
+        if isinstance(parsed, (ConjunctiveQuery, UnionOfConjunctiveQueries)):
+            sentence = parsed.to_formula()
+        else:
+            sentence = parsed
+        probability = self.tid.brute_force_probability(sentence)
+        return QueryAnswer(
+            probability,
+            Method.BRUTE_FORCE,
+            exact=True,
+            detail=f"possible-world enumeration ({self.tid.world_count()} worlds)",
+        )
+
+    # -- non-Boolean queries ---------------------------------------------------------
+
+    def answers(
+        self, query: Union[str, ConjunctiveQuery], head: Sequence[str | Var]
+    ) -> dict[tuple, QueryAnswer]:
+        """Per-answer probabilities for a CQ with output variables.
+
+        Each answer tuple's marginal is computed from its own lineage with
+        the exact DPLL counter (the "intensional semantics" route).
+        """
+        parsed = parse_cq(query) if isinstance(query, str) else query
+        head_vars = tuple(Var(h) if isinstance(h, str) else h for h in head)
+        missing = set(head_vars) - parsed.variables
+        if missing:
+            names = ", ".join(sorted(v.name for v in missing))
+            raise ValueError(f"head variables not in query: {names}")
+        lineages, pool = answer_lineages(parsed, head_vars, self.tid)
+        probabilities = pool.probability_map()
+        counter = DPLLCounter()
+        out: dict[tuple, QueryAnswer] = {}
+        for values, expr in sorted(lineages.items(), key=lambda kv: repr(kv[0])):
+            result = counter.run(expr, probabilities)
+            out[values] = QueryAnswer(
+                result.probability,
+                Method.DPLL,
+                exact=True,
+                detail="per-answer lineage",
+            )
+        return out
+
+    def tuple_posteriors(self, query: Query) -> dict[tuple, "object"]:
+        """Posterior marginals P(t | Q) for every tuple in the lineage.
+
+        Compiles the lineage into a decision-DNNF and differentiates it
+        (one upward + one downward pass for all tuples at once). Returns
+        ``{(relation, values): VariableReport}``; tuples outside the
+        lineage are unaffected by the query and keep their prior.
+        """
+        from ..kc.differentiate import differentiate
+
+        parsed = self.parse_query(query)
+        lineage = self._lineage(parsed)
+        probabilities = lineage.probabilities()
+        from ..wmc.dpll import compile_decision_dnnf
+
+        compiled = compile_decision_dnnf(lineage.expr, probabilities)
+        reports = differentiate(compiled.circuit, probabilities)
+        return {
+            lineage.fact(index): report for index, report in reports.items()
+        }
+
+    def most_probable_world(self, query: Query) -> tuple[dict, float]:
+        """The most likely database state in which the query is true.
+
+        Compiles the lineage and runs a smoothed (max, ×) pass (MPE).
+        Returns ``({(relation, values): present?}, probability)`` covering
+        every tuple in the query's lineage; tuples outside the lineage are
+        unconstrained.
+        """
+        from ..kc.mpe import most_probable_model
+        from ..wmc.dpll import compile_decision_dnnf
+
+        parsed = self.parse_query(query)
+        lineage = self._lineage(parsed)
+        probabilities = lineage.probabilities()
+        compiled = compile_decision_dnnf(lineage.expr, probabilities)
+        explanation = most_probable_model(compiled.circuit, probabilities)
+        world = {
+            lineage.fact(index): value
+            for index, value in explanation.assignment.items()
+        }
+        return world, explanation.probability
+
+    def explain(self, query: Query) -> str:
+        """A human-readable account of how the query would be evaluated."""
+        answer = self.probability(query)
+        lines = [
+            f"query method : {answer.method.value}",
+            f"probability  : {answer.probability:.10g}",
+            f"exact        : {answer.exact}",
+            f"detail       : {answer.detail}",
+        ]
+        for step in answer.lifted_trace:
+            lines.append(f"  {step}")
+        return "\n".join(lines)

@@ -1,0 +1,5 @@
+"""Probabilistic datalog over TIDs (the ProbLog-style route of Sec. 9)."""
+
+from .program import DatalogEvaluation, DatalogProgram, Rule, parse_rule
+
+__all__ = ["DatalogEvaluation", "DatalogProgram", "Rule", "parse_rule"]

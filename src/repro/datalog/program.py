@@ -1,0 +1,265 @@
+"""Probabilistic datalog over TIDs — the ProbLog route (Sec. 9, [51]).
+
+A (positive, possibly recursive) datalog program is evaluated over a
+tuple-independent database by computing, for every derivable IDB fact, its
+Boolean *lineage* as the least fixpoint of the rule equations:
+
+    lineage(head) = ⋁ over rule matches of ⋀ lineage(body facts)
+
+EDB facts ground to their tuple variable. Because lineages are monotone
+Boolean expressions over a finite variable set, the fixpoint terminates;
+probabilities then come from the usual WMC engines (exact DPLL, or
+Karp–Luby on the DNF for large instances). This mirrors ProbLog's
+ground-then-compile pipeline [51]: ground the program, build the lineage,
+do weighted model counting.
+
+Only positive programs are supported (negation would require
+stratification and is out of scope); rules are range-restricted: every head
+variable must occur in the body.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional, Sequence
+
+from ..booleans.expr import B_FALSE, BAnd, BExpr, BOr, BVar
+from ..core.tid import TupleIndependentDatabase
+from ..lineage.build import VariablePool
+from ..logic.formulas import Atom
+from ..logic.semantics import Fact
+from ..logic.terms import Const, Var
+from ..wmc.dpll import DPLLCounter
+
+
+@dataclass(frozen=True)
+class Rule:
+    """head :- body₁, ..., bodyₙ (positive atoms only)."""
+
+    head: Atom
+    body: tuple[Atom, ...]
+
+    def __post_init__(self) -> None:
+        if not self.body:
+            raise ValueError("rules need a non-empty body (use add_fact for facts)")
+        head_vars = self.head.free_variables()
+        body_vars = frozenset(
+            v for atom in self.body for v in atom.free_variables()
+        )
+        unbound = head_vars - body_vars
+        if unbound:
+            names = ", ".join(sorted(v.name for v in unbound))
+            raise ValueError(f"head variables not bound by the body: {names}")
+
+    def __str__(self) -> str:
+        return f"{self.head} :- {', '.join(str(a) for a in self.body)}"
+
+
+def parse_rule(text: str) -> Rule:
+    """Parse ``"path(x,z) :- path(x,y), edge(y,z)"``."""
+    if ":-" not in text:
+        raise ValueError(f"missing ':-' in rule: {text!r}")
+    head_text, body_text = text.split(":-", 1)
+    from ..logic.parser import _Parser
+
+    head_parser = _Parser(head_text.strip())
+    head = head_parser.atom()
+    if head_parser.peek()[0] != "eof":
+        raise ValueError(f"trailing input in rule head: {head_text!r}")
+    body_parser = _Parser(body_text.strip())
+    body = [body_parser.atom()]
+    while body_parser.peek()[1] == ",":
+        body_parser.advance()
+        body.append(body_parser.atom())
+    if body_parser.peek()[0] != "eof":
+        raise ValueError(f"trailing input in rule body: {body_text!r}")
+    return Rule(head, tuple(body))
+
+
+@dataclass
+class DatalogEvaluation:
+    """The fixpoint result: lineage per derived fact plus the variable pool."""
+
+    lineages: dict[Fact, BExpr]
+    pool: VariablePool
+    rounds: int
+
+    def probability(self, fact: Fact) -> float:
+        """Exact marginal of one derived fact (DPLL on its lineage)."""
+        expr = self.lineages.get(fact, B_FALSE)
+        counter = DPLLCounter()
+        return counter.run(expr, self.pool.probability_map()).probability
+
+    def facts_of(self, predicate: str) -> list[Fact]:
+        return sorted(
+            (f for f in self.lineages if f[0] == predicate), key=repr
+        )
+
+
+@dataclass
+class DatalogProgram:
+    """Rules over an EDB stored in a TID."""
+
+    edb: TupleIndependentDatabase
+    rules: list[Rule] = field(default_factory=list)
+
+    def add_rule(self, rule: Rule | str) -> None:
+        parsed = parse_rule(rule) if isinstance(rule, str) else rule
+        edb_predicates = set(self.edb.relations)
+        if parsed.head.predicate in edb_predicates:
+            raise ValueError(
+                f"head predicate {parsed.head.predicate} is an EDB relation"
+            )
+        self.rules.append(parsed)
+
+    def idb_predicates(self) -> frozenset[str]:
+        return frozenset(rule.head.predicate for rule in self.rules)
+
+    # -- evaluation ------------------------------------------------------------
+
+    def evaluate(self, max_rounds: int = 10_000) -> DatalogEvaluation:
+        """Naive fixpoint of the lineage equations (see module docstring).
+
+        Lineages are maintained as *absorbed DNF term-sets*: each derived
+        fact maps to a set of minimal variable-sets (derivations). The sets
+        grow monotonically within a finite lattice, so the fixpoint always
+        terminates — including on cyclic programs, where a derivation that
+        revisits a tuple collapses by idempotence and is absorbed.
+        """
+        pool = VariablePool()
+        terms: dict[Fact, frozenset[frozenset[int]]] = {}
+        for name, values, probability in self.edb.facts():
+            if probability <= 0.0:
+                continue
+            fact = (name, values)
+            terms[fact] = frozenset({frozenset({pool.variable(fact, probability)})})
+
+        rounds = 0
+        changed = True
+        while changed:
+            if rounds >= max_rounds:
+                raise RuntimeError(
+                    f"datalog fixpoint did not converge in {max_rounds} rounds"
+                )
+            rounds += 1
+            changed = False
+            for rule in self.rules:
+                for binding in self._matches(rule.body, terms):
+                    head_fact = _ground(rule.head, binding)
+                    derivations: frozenset[frozenset[int]] = frozenset(
+                        {frozenset()}
+                    )
+                    for atom in rule.body:
+                        body_terms = terms[_ground(atom, binding)]
+                        derivations = frozenset(
+                            left | right
+                            for left in derivations
+                            for right in body_terms
+                        )
+                    previous = terms.get(head_fact, frozenset())
+                    updated = _absorb(previous | derivations)
+                    if updated != previous:
+                        terms[head_fact] = updated
+                        changed = True
+
+        lineages = {
+            fact: BOr.of(
+                BAnd.of(BVar(v) for v in sorted(term))
+                for term in sorted(term_set, key=lambda t: (len(t), sorted(t)))
+            )
+            for fact, term_set in terms.items()
+        }
+        return DatalogEvaluation(lineages, pool, rounds)
+
+    def _matches(
+        self, body: tuple[Atom, ...], known: dict[Fact, object]
+    ) -> Iterator[dict[Var, object]]:
+        """All bindings making every body atom a known (derivable) fact."""
+        facts_by_predicate: dict[str, list[Fact]] = {}
+        for fact in known:
+            facts_by_predicate.setdefault(fact[0], []).append(fact)
+
+        binding: dict[Var, object] = {}
+
+        def extend(index: int) -> Iterator[dict[Var, object]]:
+            if index == len(body):
+                yield dict(binding)
+                return
+            atom = body[index]
+            for _, values in facts_by_predicate.get(atom.predicate, ()):
+                if len(values) != atom.arity:
+                    continue
+                trail: list[Var] = []
+                ok = True
+                for term, value in zip(atom.args, values):
+                    if isinstance(term, Const):
+                        if term.value != value:
+                            ok = False
+                            break
+                    else:
+                        bound = binding.get(term)
+                        if bound is None:
+                            binding[term] = value
+                            trail.append(term)
+                        elif bound != value:
+                            ok = False
+                            break
+                if ok:
+                    yield from extend(index + 1)
+                for var in trail:
+                    del binding[var]
+
+        yield from extend(0)
+
+    # -- query API ---------------------------------------------------------------
+
+    def fact_probability(self, predicate: str, values: Sequence) -> float:
+        """P(the ground IDB/EDB fact is derivable)."""
+        evaluation = self.evaluate()
+        return evaluation.probability((predicate, tuple(values)))
+
+    def query(
+        self, predicate: str, pattern: Optional[Sequence] = None
+    ) -> dict[tuple, float]:
+        """Marginals of all derived facts of *predicate* matching *pattern*.
+
+        *pattern* entries are constants or None (wildcard).
+        """
+        evaluation = self.evaluate()
+        probabilities = evaluation.pool.probability_map()
+        counter = DPLLCounter()
+        out: dict[tuple, float] = {}
+        for fact in evaluation.facts_of(predicate):
+            _, values = fact
+            if pattern is not None:
+                if len(pattern) != len(values):
+                    continue
+                if any(
+                    want is not None and want != got
+                    for want, got in zip(pattern, values)
+                ):
+                    continue
+            out[values] = counter.run(
+                evaluation.lineages[fact], probabilities
+            ).probability
+        return out
+
+
+def _absorb(term_sets: frozenset[frozenset[int]]) -> frozenset[frozenset[int]]:
+    """Keep only minimal terms (drop supersets of another term)."""
+    ordered = sorted(term_sets, key=len)
+    kept: list[frozenset[int]] = []
+    for term in ordered:
+        if not any(other <= term for other in kept):
+            kept.append(term)
+    return frozenset(kept)
+
+
+def _ground(atom: Atom, binding: dict[Var, object]) -> Fact:
+    values = []
+    for term in atom.args:
+        if isinstance(term, Const):
+            values.append(term.value)
+        else:
+            values.append(binding[term])
+    return (atom.predicate, tuple(values))

@@ -1,0 +1,55 @@
+"""Knowledge compilation: circuits (FBDD / decision-DNNF / d-DNNF) and OBDDs."""
+
+from .circuits import (
+    AndNode,
+    Circuit,
+    Decision,
+    FALSE_LEAF,
+    Literal,
+    OrNode,
+    TRUE_LEAF,
+)
+from .obdd import FALSE_NODE, OBDD, TRUE_NODE, best_obdd_size, compile_obdd
+from .orders import (
+    exhaustive_minimum_size,
+    hierarchical_order,
+    hierarchy_variable_ranking,
+    order_from_facts,
+    predicate_major_order,
+)
+from .fig2 import (
+    fig2a_fbdd,
+    fig2a_formula,
+    fig2b_decision_dnnf,
+    fig2b_formula,
+)
+from .differentiate import VariableReport, differentiate
+from .mpe import Explanation, most_probable_model
+
+__all__ = [
+    "AndNode",
+    "Circuit",
+    "Decision",
+    "FALSE_LEAF",
+    "Literal",
+    "OrNode",
+    "TRUE_LEAF",
+    "FALSE_NODE",
+    "OBDD",
+    "TRUE_NODE",
+    "best_obdd_size",
+    "compile_obdd",
+    "exhaustive_minimum_size",
+    "hierarchical_order",
+    "hierarchy_variable_ranking",
+    "order_from_facts",
+    "predicate_major_order",
+    "fig2a_fbdd",
+    "fig2a_formula",
+    "fig2b_decision_dnnf",
+    "fig2b_formula",
+    "VariableReport",
+    "differentiate",
+    "Explanation",
+    "most_probable_model",
+]

@@ -1,0 +1,65 @@
+"""The two example circuits of Figure 2 in the paper.
+
+(a) An FBDD for ``(¬X)YZ ∨ XY ∨ XZ``: decide X first; on the 0-branch test
+    Y then Z (both needed), on the 1-branch test Y and, if false, Z.
+
+(b) A decision-DNNF for ``(¬X)YZU ∨ XYZ ∨ XZU``: the same shape, but the
+    0-branch becomes an independent-∧ of the (disjoint) Y·Z and U parts and
+    the 1-branch shares structure through the ∧ node.
+
+Variable indices: X=0, Y=1, Z=2, U=3. Both constructions return the circuit
+and its root so tests can verify semantics against the formulas.
+"""
+
+from __future__ import annotations
+
+from ..booleans.expr import BExpr, band, bnot, bor, bvar
+from .circuits import Circuit, FALSE_LEAF, TRUE_LEAF
+
+X, Y, Z, U = 0, 1, 2, 3
+
+
+def fig2a_formula() -> BExpr:
+    """(¬X)YZ ∨ XY ∨ XZ."""
+    x, y, z = bvar(X), bvar(Y), bvar(Z)
+    return bor(band(bnot(x), y, z), band(x, y), band(x, z))
+
+
+def fig2a_fbdd() -> tuple[Circuit, int]:
+    """An FBDD computing :func:`fig2a_formula` (Fig. 2(a))."""
+    circuit = Circuit()
+    # X = 0 branch: need Y and Z.
+    z_node = circuit.decision(Z, FALSE_LEAF, TRUE_LEAF)
+    y_then_z = circuit.decision(Y, FALSE_LEAF, z_node)
+    # X = 1 branch: Y suffices; otherwise Z decides.
+    y_or_z = circuit.decision(Y, z_node, TRUE_LEAF)
+    root = circuit.decision(X, y_then_z, y_or_z)
+    circuit.root = root
+    return circuit, root
+
+
+def fig2b_formula() -> BExpr:
+    """(¬X)YZU ∨ XYZ ∨ XZU."""
+    x, y, z, u = bvar(X), bvar(Y), bvar(Z), bvar(U)
+    return bor(band(bnot(x), y, z, u), band(x, y, z), band(x, z, u))
+
+
+def fig2b_decision_dnnf() -> tuple[Circuit, int]:
+    """A decision-DNNF computing :func:`fig2b_formula` (Fig. 2(b)).
+
+    Both branches require Z; after deciding X the remaining formula factors:
+    on X=0 into the independent parts Y, Z, U (all required), and on X=1
+    into Z ∧ (Y ∨ U). The ∧ nodes are the decision-DNNF extension point.
+    """
+    circuit = Circuit()
+    y_leaf = circuit.decision(Y, FALSE_LEAF, TRUE_LEAF)
+    z_leaf = circuit.decision(Z, FALSE_LEAF, TRUE_LEAF)
+    u_leaf = circuit.decision(U, FALSE_LEAF, TRUE_LEAF)
+    # X = 0: Y ∧ Z ∧ U as one independent-∧ node.
+    all_three = circuit.conjoin((y_leaf, z_leaf, u_leaf))
+    # X = 1: Z ∧ (Y ∨ U); the disjunction is a decision on Y.
+    y_or_u = circuit.decision(Y, u_leaf, TRUE_LEAF)
+    z_and_rest = circuit.conjoin((z_leaf, y_or_u))
+    root = circuit.decision(X, all_three, z_and_rest)
+    circuit.root = root
+    return circuit, root

@@ -1,0 +1,133 @@
+"""Most-probable-explanation (MPE) over compiled lineage circuits.
+
+On a decision-DNNF, replacing the (+, ×) semiring of weighted model
+counting with (max, ×) computes the *most probable world satisfying the
+query* in one bottom-up pass — the classic MPE/MAP trick of knowledge
+compilation.
+
+One subtlety (smoothing): when a decision node's two branches mention
+different variable sets, comparing their raw products is wrong — a branch
+that never tests X implicitly gets X's *mode* probability, while a branch
+that fixes X pays its chosen value. The maximization below normalizes every
+comparison to the union scope by multiplying in the mode probabilities of
+the missing variables, which is exactly what circuit smoothing would do.
+
+Typical use: "what is the single most likely database state in which the
+risk query is true?" — the explanation companion to
+:mod:`repro.kc.differentiate`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Optional
+
+from .circuits import AndNode, Circuit, Decision, FALSE_LEAF, Literal, OrNode, TRUE_LEAF
+
+
+@dataclass(frozen=True)
+class Explanation:
+    """The most probable satisfying world and its probability."""
+
+    assignment: dict[int, bool]
+    probability: float
+
+
+def most_probable_model(
+    circuit: Circuit,
+    probabilities: Mapping[int, float],
+    root: Optional[int] = None,
+) -> Explanation:
+    """MPE: argmax over worlds W ⊨ F of P(W), via a smoothed (max, ×) pass.
+
+    Returns a *total* assignment over ``probabilities``' variables; raises
+    ValueError when the circuit is unsatisfiable.
+    """
+    start = circuit.root if root is None else root
+    scope_memo: dict[int, frozenset[int]] = {}
+
+    def scope(node_id: int) -> frozenset[int]:
+        return circuit._vars_below(node_id, scope_memo)
+
+    def mode_product(variables: frozenset[int]) -> float:
+        product = 1.0
+        for var in variables:
+            p = probabilities[var]
+            product *= max(p, 1.0 - p)
+        return product
+
+    # best[node] = (max probability over the node's scope, partial assignment)
+    best: dict[int, Optional[tuple[float, dict[int, bool]]]] = {
+        TRUE_LEAF: (1.0, {}),
+        FALSE_LEAF: None,
+    }
+
+    def solve(node_id: int) -> Optional[tuple[float, dict[int, bool]]]:
+        if node_id in best:
+            return best[node_id]
+        node = circuit.nodes[node_id]
+        result: Optional[tuple[float, dict[int, bool]]]
+        if isinstance(node, Decision):
+            p = probabilities[node.var]
+            node_scope = scope(node_id) - {node.var}
+            candidates = []
+            lo = solve(node.lo)
+            if lo is not None:
+                fill = mode_product(node_scope - scope(node.lo))
+                candidates.append(
+                    ((1.0 - p) * lo[0] * fill, {**lo[1], node.var: False})
+                )
+            hi = solve(node.hi)
+            if hi is not None:
+                fill = mode_product(node_scope - scope(node.hi))
+                candidates.append((p * hi[0] * fill, {**hi[1], node.var: True}))
+            result = max(candidates, key=lambda c: c[0]) if candidates else None
+        elif isinstance(node, AndNode):
+            probability = 1.0
+            combined: dict[int, bool] = {}
+            result = (1.0, {})
+            for child in node.children:
+                sub = solve(child)
+                if sub is None:
+                    result = None
+                    break
+                probability *= sub[0]
+                combined.update(sub[1])
+            else:
+                result = (probability, combined)
+        elif isinstance(node, OrNode):
+            node_scope = scope(node_id)
+            candidates = []
+            for child in node.children:
+                sub = solve(child)
+                if sub is None:
+                    continue
+                fill = mode_product(node_scope - scope(child))
+                candidates.append((sub[0] * fill, sub[1]))
+            result = max(candidates, key=lambda c: c[0]) if candidates else None
+        elif isinstance(node, Literal):
+            p = probabilities[node.var]
+            value = node.positive
+            result = (p if value else 1.0 - p, {node.var: value})
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"unknown node {node!r}")
+        best[node_id] = result
+        return result
+
+    top = solve(start)
+    if top is None:
+        raise ValueError("circuit is unsatisfiable; no explanation exists")
+    probability, partial = top
+    assignment = dict(partial)
+    root_scope = scope(start)
+    for var, p in probabilities.items():
+        if var not in assignment:
+            choice = p >= 0.5
+            assignment[var] = choice
+            # variables inside the root scope that ended up unset were
+            # mode-filled during the (max, ×) pass: their factor is already
+            # part of `probability`; only out-of-scope variables still owe
+            # their mode factor.
+            if var not in root_scope:
+                probability *= p if choice else 1.0 - p
+    return Explanation(assignment, probability)

@@ -1,0 +1,23 @@
+"""Lifted inference: the paper's rules (7)–(10) and the safety decider."""
+
+from .errors import NonLiftableError, UnsupportedQueryError
+from .engine import (
+    LiftedEngine,
+    RuleApplication,
+    lifted_probability,
+    sentence_to_ucq,
+)
+from .safety import Complexity, SafetyVerdict, cq_is_safe, decide_safety
+
+__all__ = [
+    "NonLiftableError",
+    "UnsupportedQueryError",
+    "LiftedEngine",
+    "RuleApplication",
+    "lifted_probability",
+    "sentence_to_ucq",
+    "Complexity",
+    "SafetyVerdict",
+    "cq_is_safe",
+    "decide_safety",
+]

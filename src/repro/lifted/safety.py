@@ -1,0 +1,94 @@
+"""Deciding the complexity of PQE(Q) — the dichotomy side (Sec. 4).
+
+Two deciders:
+
+* :func:`cq_is_safe` — Theorem 4.3's AC⁰ criterion for self-join-free CQs:
+  safe ⇔ hierarchical.
+* :func:`decide_safety` — for UCQs (and CQs with self-joins): run the lifted
+  engine symbolically over a tiny canonical database. The rules are
+  data-independent, so success certifies PTIME; failure means no rule
+  applies, which by the completeness theorem (Thm. 5.1) certifies
+  #P-hardness for queries in the paper's language.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from enum import Enum
+
+from ..core.tid import TupleIndependentDatabase
+from ..logic.cq import ConjunctiveQuery, UnionOfConjunctiveQueries
+from .engine import LiftedEngine
+from .errors import NonLiftableError
+
+
+class Complexity(Enum):
+    """The two sides of the dichotomy (Theorem 4.1)."""
+
+    PTIME = "PTIME"
+    SHARP_P_HARD = "#P-hard"
+
+
+@dataclass(frozen=True)
+class SafetyVerdict:
+    """The decided complexity plus the witness when the engine got stuck."""
+
+    complexity: Complexity
+    blocking_subquery: str = ""
+
+    @property
+    def is_safe(self) -> bool:
+        return self.complexity is Complexity.PTIME
+
+
+def cq_is_safe(query: ConjunctiveQuery) -> bool:
+    """Theorem 4.3 for self-join-free CQs: safe ⇔ hierarchical.
+
+    Raises ValueError for queries with self-joins, where the criterion is
+    not sound (the paper's counterexample: R(x,y), R(y,z) is hierarchical
+    yet #P-hard) — use :func:`decide_safety` instead.
+    """
+    if query.has_self_joins():
+        raise ValueError(
+            "hierarchy criterion only applies to self-join-free queries"
+        )
+    return query.is_hierarchical()
+
+
+def _canonical_database(
+    query: UnionOfConjunctiveQueries, domain_size: int = 2
+) -> TupleIndependentDatabase:
+    """A tiny symmetric database mentioning every predicate of the query."""
+    arities: dict[str, int] = {}
+    for disjunct in query:
+        for atom in disjunct.atoms:
+            arities[atom.predicate] = atom.arity
+    domain = [f"c{i}" for i in range(domain_size)]
+    db = TupleIndependentDatabase()
+    for predicate, arity in sorted(arities.items()):
+        for values in itertools.product(domain, repeat=arity):
+            db.add_fact(predicate, values, 0.5)
+    db.explicit_domain = frozenset(domain)
+    return db
+
+
+def decide_safety(
+    query: UnionOfConjunctiveQueries | ConjunctiveQuery,
+    domain_size: int = 2,
+) -> SafetyVerdict:
+    """Decide the dichotomy side of a UCQ by dry-running the lifted engine.
+
+    The engine's rule applicability depends only on query syntax, so running
+    it over a canonical 2-element database explores exactly the derivation
+    it would use on any database.
+    """
+    if isinstance(query, ConjunctiveQuery):
+        query = UnionOfConjunctiveQueries((query,))
+    db = _canonical_database(query, domain_size)
+    engine = LiftedEngine(db)
+    try:
+        engine.probability(query)
+    except NonLiftableError as error:
+        return SafetyVerdict(Complexity.SHARP_P_HARD, str(error.subquery))
+    return SafetyVerdict(Complexity.PTIME)

@@ -1,0 +1,421 @@
+"""Boolean conjunctive queries and unions thereof.
+
+A Boolean conjunctive query (CQ, Eq. 6 of the paper) is a set of positive
+atoms with every variable existentially quantified. This module provides:
+
+* the *hierarchical* test of Definition 4.2 (the safety criterion of
+  Theorem 4.3 for self-join-free queries),
+* separator variables (side condition of lifted rule (8)),
+* connected components under shared variables / shared symbols (side
+  condition of lifted rule (7)),
+* homomorphisms, containment, logical implication and equivalence,
+* core computation and a canonical key used for the cancellation step of the
+  inclusion/exclusion rule (Sec. 5), and
+* :class:`UnionOfConjunctiveQueries` with minimization.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Mapping, Optional
+
+from .formulas import And, Atom, Exists, Formula, Or, exists_many
+from .terms import Const, Term, Var
+
+_MAX_CANONICAL_VARS = 7
+
+
+@dataclass(frozen=True)
+class ConjunctiveQuery:
+    """A Boolean conjunctive query: ∃x̄ (A₁ ∧ ... ∧ Aₘ) over positive atoms."""
+
+    atoms: tuple[Atom, ...]
+
+    def __post_init__(self) -> None:
+        if not self.atoms:
+            raise ValueError("a conjunctive query needs at least one atom")
+        if not isinstance(self.atoms, tuple):
+            object.__setattr__(self, "atoms", tuple(self.atoms))
+
+    # -- basic structure ---------------------------------------------------
+
+    @property
+    def variables(self) -> frozenset[Var]:
+        return frozenset(
+            t for atom in self.atoms for t in atom.args if isinstance(t, Var)
+        )
+
+    @property
+    def constants(self) -> frozenset[Const]:
+        return frozenset(
+            t for atom in self.atoms for t in atom.args if isinstance(t, Const)
+        )
+
+    @property
+    def predicates(self) -> frozenset[str]:
+        return frozenset(atom.predicate for atom in self.atoms)
+
+    def at(self, var: Var) -> frozenset[int]:
+        """Indices of atoms containing *var* — the paper's at(x)."""
+        return frozenset(
+            i for i, atom in enumerate(self.atoms) if var in atom.free_variables()
+        )
+
+    def has_self_joins(self) -> bool:
+        """True when some relation symbol occurs in two or more atoms."""
+        return len(self.predicates) < len(self.atoms)
+
+    # -- safety-related structure (Sec. 4 and 5) ---------------------------
+
+    def is_hierarchical(self) -> bool:
+        """Definition 4.2: at(x), at(y) nested or disjoint for all x, y."""
+        variables = sorted(self.variables, key=lambda v: v.name)
+        for x, y in itertools.combinations(variables, 2):
+            ax, ay = self.at(x), self.at(y)
+            if not (ax <= ay or ay <= ax or not (ax & ay)):
+                return False
+        return True
+
+    def root_variables(self) -> frozenset[Var]:
+        """Variables occurring in every atom of the query."""
+        return frozenset(
+            v for v in self.variables if len(self.at(v)) == len(self.atoms)
+        )
+
+    def separator_variable(self) -> Optional[Var]:
+        """A separator variable per lifted rule (8), or None.
+
+        A separator occurs in every atom and, for every relation symbol, in
+        the *same position* of every occurrence of that symbol. For
+        self-join-free queries this degenerates to a root variable.
+        """
+        for var in sorted(self.root_variables(), key=lambda v: v.name):
+            positions: dict[str, set[int]] = {}
+            for atom in self.atoms:
+                occupied = {i for i, t in enumerate(atom.args) if t == var}
+                positions.setdefault(atom.predicate, set()).update(occupied)
+            if all(len(occ) >= 1 for occ in positions.values()) and all(
+                self._consistent_position(pred, var) for pred in positions
+            ):
+                return var
+        return None
+
+    def _consistent_position(self, predicate: str, var: Var) -> bool:
+        """True when *var* sits at one common position in all *predicate* atoms."""
+        common: Optional[set[int]] = None
+        for atom in self.atoms:
+            if atom.predicate != predicate:
+                continue
+            occupied = {i for i, t in enumerate(atom.args) if t == var}
+            common = occupied if common is None else common & occupied
+        return bool(common)
+
+    def connected_components(self, by_symbols: bool = True) -> list["ConjunctiveQuery"]:
+        """Partition atoms into components for the independence rule (7).
+
+        Two atoms are connected when they share a variable; when
+        ``by_symbols`` is set (the default, required for probabilistic
+        independence over a TID) atoms sharing a relation symbol are also
+        connected.
+        """
+        n = len(self.atoms)
+        parent = list(range(n))
+
+        def find(i: int) -> int:
+            while parent[i] != i:
+                parent[i] = parent[parent[i]]
+                i = parent[i]
+            return i
+
+        def union(i: int, j: int) -> None:
+            parent[find(i)] = find(j)
+
+        for i, j in itertools.combinations(range(n), 2):
+            share_var = bool(
+                self.atoms[i].free_variables() & self.atoms[j].free_variables()
+            )
+            share_sym = self.atoms[i].predicate == self.atoms[j].predicate
+            if share_var or (by_symbols and share_sym):
+                union(i, j)
+        groups: dict[int, list[Atom]] = {}
+        for i in range(n):
+            groups.setdefault(find(i), []).append(self.atoms[i])
+        return [ConjunctiveQuery(tuple(atoms)) for atoms in groups.values()]
+
+    # -- operations --------------------------------------------------------
+
+    def substitute(self, mapping: Mapping[Var, Term]) -> "ConjunctiveQuery":
+        return ConjunctiveQuery(tuple(a.substitute(mapping) for a in self.atoms))
+
+    def rename_apart(self, taken: frozenset[Var]) -> "ConjunctiveQuery":
+        """Rename this query's variables away from *taken*."""
+        mapping: dict[Var, Term] = {}
+        used = set(taken)
+        for var in sorted(self.variables, key=lambda v: v.name):
+            if var in used:
+                i = 0
+                while Var(f"{var.name}_{i}") in used or Var(f"{var.name}_{i}") in self.variables:
+                    i += 1
+                fresh = Var(f"{var.name}_{i}")
+                mapping[var] = fresh
+                used.add(fresh)
+            else:
+                used.add(var)
+        return self.substitute(mapping) if mapping else self
+
+    def conjoin(self, other: "ConjunctiveQuery") -> "ConjunctiveQuery":
+        """Boolean conjunction Q₁ ∧ Q₂, standardizing variables apart.
+
+        The disjuncts of a UCQ have independent variable scopes, so the
+        inclusion/exclusion terms conjoin *renamed-apart* copies.
+        """
+        renamed = other.rename_apart(self.variables)
+        return ConjunctiveQuery(self.atoms + renamed.atoms)
+
+    def to_formula(self) -> Formula:
+        body = And.of(self.atoms)
+        ordered = sorted(self.variables, key=lambda v: v.name)
+        return exists_many(ordered, body)
+
+    # -- containment and equivalence ----------------------------------------
+
+    def implies(self, other: "ConjunctiveQuery") -> bool:
+        """Logical implication of Boolean CQs: every world of self satisfies other.
+
+        Holds iff there is a homomorphism from *other* into the canonical
+        database of *self*.
+        """
+        return homomorphism(other, self) is not None
+
+    def equivalent(self, other: "ConjunctiveQuery") -> bool:
+        return self.implies(other) and other.implies(self)
+
+    def core(self) -> "ConjunctiveQuery":
+        """The core: a minimal equivalent subquery (unique up to renaming)."""
+        atoms = list(dict.fromkeys(self.atoms))  # drop duplicate atoms
+        changed = True
+        while changed and len(atoms) > 1:
+            changed = False
+            for i in range(len(atoms)):
+                candidate = ConjunctiveQuery(tuple(atoms[:i] + atoms[i + 1 :]))
+                if homomorphism(ConjunctiveQuery(tuple(atoms)), candidate) is not None:
+                    atoms.pop(i)
+                    changed = True
+                    break
+        return ConjunctiveQuery(tuple(atoms))
+
+    def canonical_key(self) -> tuple:
+        """A hashable key, identical for equivalent queries (small queries).
+
+        The query is reduced to its core, then variables are renamed by every
+        permutation (up to ``_MAX_CANONICAL_VARS`` variables) and the
+        lexicographically least serialization wins. For larger queries a
+        deterministic heuristic labeling is used; the lifted engine then
+        falls back to explicit equivalence tests when merging terms, so a
+        weaker key affects performance, never correctness.
+        """
+        reduced = self.core()
+        variables = sorted(reduced.variables, key=lambda v: v.name)
+        if len(variables) <= _MAX_CANONICAL_VARS:
+            best = None
+            for perm in itertools.permutations(range(len(variables))):
+                names = {variables[i]: Var(f"v{perm[i]}") for i in range(len(variables))}
+                serial = tuple(sorted(_serialize_atom(a, names) for a in reduced.atoms))
+                if best is None or serial < best:
+                    best = serial
+            return best  # type: ignore[return-value]
+        names = {v: Var(f"v{i}") for i, v in enumerate(variables)}
+        return tuple(sorted(_serialize_atom(a, names) for a in reduced.atoms))
+
+    def __str__(self) -> str:
+        return ", ".join(str(a) for a in self.atoms)
+
+
+def _serialize_atom(atom: Atom, names: Mapping[Var, Var]) -> tuple:
+    args = tuple(
+        ("v", names[t].name) if isinstance(t, Var) else ("c", t.value)
+        for t in atom.args
+    )
+    return (atom.predicate, args)
+
+
+def homomorphism(
+    source: ConjunctiveQuery, target: ConjunctiveQuery
+) -> Optional[dict[Var, Term]]:
+    """A homomorphism from *source* into the canonical database of *target*.
+
+    Variables of *target* are frozen (treated as constants). Returns the
+    variable mapping, or None when no homomorphism exists.
+    """
+    target_atoms_by_pred: dict[tuple[str, int], list[Atom]] = {}
+    for atom in target.atoms:
+        target_atoms_by_pred.setdefault((atom.predicate, atom.arity), []).append(atom)
+
+    # Order source atoms to fail fast: rarer predicates first.
+    ordered = sorted(
+        source.atoms,
+        key=lambda a: len(target_atoms_by_pred.get((a.predicate, a.arity), ())),
+    )
+
+    mapping: dict[Var, Term] = {}
+
+    def extend(index: int) -> bool:
+        if index == len(ordered):
+            return True
+        atom = ordered[index]
+        for candidate in target_atoms_by_pred.get((atom.predicate, atom.arity), ()):
+            trail: list[Var] = []
+            ok = True
+            for src_term, dst_term in zip(atom.args, candidate.args):
+                if isinstance(src_term, Const):
+                    if src_term != dst_term:
+                        ok = False
+                        break
+                else:
+                    bound = mapping.get(src_term)
+                    if bound is None:
+                        mapping[src_term] = dst_term
+                        trail.append(src_term)
+                    elif bound != dst_term:
+                        ok = False
+                        break
+            if ok and extend(index + 1):
+                return True
+            for var in trail:
+                del mapping[var]
+        return False
+
+    return dict(mapping) if extend(0) else None
+
+
+@dataclass(frozen=True)
+class UnionOfConjunctiveQueries:
+    """A UCQ: the disjunction of one or more Boolean conjunctive queries."""
+
+    disjuncts: tuple[ConjunctiveQuery, ...]
+
+    def __post_init__(self) -> None:
+        if not self.disjuncts:
+            raise ValueError("a UCQ needs at least one disjunct")
+        if not isinstance(self.disjuncts, tuple):
+            object.__setattr__(self, "disjuncts", tuple(self.disjuncts))
+
+    @property
+    def predicates(self) -> frozenset[str]:
+        return frozenset().union(*(q.predicates for q in self.disjuncts))
+
+    def minimize(self) -> "UnionOfConjunctiveQueries":
+        """Drop disjuncts implied by another disjunct (Qᵢ ⊨ Qⱼ ⇒ drop Qᵢ)."""
+        kept: list[ConjunctiveQuery] = []
+        disjuncts = [q.core() for q in self.disjuncts]
+        for i, q in enumerate(disjuncts):
+            redundant = False
+            for j, other in enumerate(disjuncts):
+                if i == j:
+                    continue
+                if q.implies(other) and not (other.implies(q) and j > i):
+                    # q is subsumed; when the two are equivalent keep the
+                    # first occurrence only.
+                    redundant = True
+                    break
+            if not redundant:
+                kept.append(q)
+        return UnionOfConjunctiveQueries(tuple(kept))
+
+    def to_formula(self) -> Formula:
+        return Or.of(q.to_formula() for q in self.disjuncts)
+
+    def canonical_key(self) -> frozenset:
+        return frozenset(q.canonical_key() for q in self.minimize().disjuncts)
+
+    def equivalent(self, other: "UnionOfConjunctiveQueries") -> bool:
+        """Logical equivalence of UCQs via pairwise CQ containment."""
+        return self._implies(other) and other._implies(self)
+
+    def _implies(self, other: "UnionOfConjunctiveQueries") -> bool:
+        # A UCQ implies another iff each disjunct implies some disjunct of it.
+        return all(
+            any(q.implies(o) for o in other.disjuncts) for q in self.disjuncts
+        )
+
+    def __iter__(self) -> Iterator[ConjunctiveQuery]:
+        return iter(self.disjuncts)
+
+    def __len__(self) -> int:
+        return len(self.disjuncts)
+
+    def __str__(self) -> str:
+        return "  |  ".join(f"[{q}]" for q in self.disjuncts)
+
+
+def cq(*atoms: Atom) -> ConjunctiveQuery:
+    """Convenience constructor from atoms."""
+    return ConjunctiveQuery(tuple(atoms))
+
+
+def ucq(*queries: ConjunctiveQuery) -> UnionOfConjunctiveQueries:
+    """Convenience constructor from conjunctive queries."""
+    return UnionOfConjunctiveQueries(tuple(queries))
+
+
+def cq_from_formula(formula: Formula) -> ConjunctiveQuery:
+    """Extract a Boolean CQ from an ∃*-prefixed conjunction of atoms."""
+    body = formula
+    while isinstance(body, Exists):
+        body = body.sub
+    if isinstance(body, Atom):
+        atoms: tuple[Atom, ...] = (body,)
+    elif isinstance(body, And) and all(isinstance(p, Atom) for p in body.parts):
+        atoms = tuple(body.parts)  # type: ignore[arg-type]
+    else:
+        raise ValueError(f"not a conjunctive query: {formula}")
+    query = ConjunctiveQuery(atoms)
+    if formula.free_variables():
+        raise ValueError("conjunctive query must be Boolean (no free variables)")
+    return query
+
+
+def ucq_from_formula(formula: Formula) -> UnionOfConjunctiveQueries:
+    """Extract a UCQ from a disjunction of ∃*-conjunctions (or a single CQ)."""
+    if isinstance(formula, Or):
+        return UnionOfConjunctiveQueries(
+            tuple(cq_from_formula(p) for p in formula.parts)
+        )
+    if isinstance(formula, Exists):
+        # An ∃-prefix over a disjunction distributes: ∃x (A ∨ B) ≡ ∃xA ∨ ∃xB.
+        distributed = _distribute_exists(formula)
+        if isinstance(distributed, Or):
+            return UnionOfConjunctiveQueries(
+                tuple(cq_from_formula(p) for p in distributed.parts)
+            )
+    return UnionOfConjunctiveQueries((cq_from_formula(formula),))
+
+
+def _distribute_exists(formula: Formula) -> Formula:
+    if isinstance(formula, Exists):
+        inner = _distribute_exists(formula.sub)
+        if isinstance(inner, Or):
+            return Or.of(Exists(formula.var, p) for p in inner.parts)
+        return Exists(formula.var, inner)
+    return formula
+
+
+def parse_cq(text: str) -> ConjunctiveQuery:
+    """Parse the shorthand ``"R(x), S(x,y)"`` into a Boolean CQ."""
+    from .parser import _Parser
+
+    parser = _Parser(text)
+    atoms = [parser.atom()]
+    while parser.peek()[1] == ",":
+        parser.advance()
+        atoms.append(parser.atom())
+    if parser.peek()[0] != "eof":
+        raise ValueError(f"trailing input in CQ: {text!r}")
+    return ConjunctiveQuery(tuple(atoms))
+
+
+def parse_ucq(text: str) -> UnionOfConjunctiveQueries:
+    """Parse ``"R(x),S(x,y) | S(u,v),T(v)"`` into a UCQ."""
+    parts = [part.strip() for part in text.split("|")]
+    return UnionOfConjunctiveQueries(tuple(parse_cq(p) for p in parts if p))

@@ -1,0 +1,338 @@
+"""First-order formula abstract syntax.
+
+The AST mirrors the logic used throughout the paper: atoms over a relational
+vocabulary, the connectives ``~``/``&``/``|`` and the quantifiers ``exists`` /
+``forall``. Implication is provided as sugar (:func:`implies`) and immediately
+rewritten to ``~a | b`` so that every stored formula uses only the connectives
+for which the paper defines duality (Sec. 2, "The Dual Query").
+
+All nodes are frozen dataclasses: formulas are immutable values that hash and
+compare structurally. ``And``/``Or`` are n-ary and flatten on construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Mapping
+
+from .terms import Const, Term, Var
+
+
+class Formula:
+    """Base class for every formula node.
+
+    Provides operator sugar (``&``, ``|``, ``~``) and the traversal helpers
+    shared by all nodes. Concrete nodes are :class:`Atom`, :class:`Not`,
+    :class:`And`, :class:`Or`, :class:`Exists`, :class:`Forall`,
+    :class:`Top` and :class:`Bottom`.
+    """
+
+    __slots__ = ()
+
+    def __and__(self, other: "Formula") -> "Formula":
+        return And.of((self, other))
+
+    def __or__(self, other: "Formula") -> "Formula":
+        return Or.of((self, other))
+
+    def __invert__(self) -> "Formula":
+        return Not(self)
+
+    # -- traversal ---------------------------------------------------------
+
+    def children(self) -> tuple["Formula", ...]:
+        """Immediate subformulas (empty for leaves)."""
+        return ()
+
+    def walk(self) -> Iterator["Formula"]:
+        """Yield this node and all descendants, pre-order."""
+        yield self
+        for child in self.children():
+            yield from child.walk()
+
+    def atoms(self) -> tuple["Atom", ...]:
+        """All atom occurrences, in syntactic order (with duplicates)."""
+        return tuple(node for node in self.walk() if isinstance(node, Atom))
+
+    def relation_symbols(self) -> frozenset[str]:
+        """The set of relation names occurring in the formula."""
+        return frozenset(a.predicate for a in self.atoms())
+
+    def free_variables(self) -> frozenset[Var]:
+        """Variables with at least one free occurrence."""
+        raise NotImplementedError
+
+    def constants(self) -> frozenset[Const]:
+        """All constants occurring in the formula."""
+        out: set[Const] = set()
+        for atom in self.atoms():
+            out.update(t for t in atom.args if isinstance(t, Const))
+        return frozenset(out)
+
+    def is_sentence(self) -> bool:
+        """True when the formula has no free variables (a Boolean query)."""
+        return not self.free_variables()
+
+    def substitute(self, mapping: Mapping[Var, Term]) -> "Formula":
+        """Capture-avoiding substitution of terms for free variables."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True, slots=True)
+class Atom(Formula):
+    """A relational atom ``R(t1, ..., tk)``."""
+
+    predicate: str
+    args: tuple[Term, ...]
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.args, tuple):
+            object.__setattr__(self, "args", tuple(self.args))
+
+    @property
+    def arity(self) -> int:
+        return len(self.args)
+
+    def free_variables(self) -> frozenset[Var]:
+        return frozenset(t for t in self.args if isinstance(t, Var))
+
+    def substitute(self, mapping: Mapping[Var, Term]) -> "Atom":
+        return Atom(
+            self.predicate,
+            tuple(mapping.get(t, t) if isinstance(t, Var) else t for t in self.args),
+        )
+
+    def is_ground(self) -> bool:
+        """True when every argument is a constant."""
+        return all(isinstance(t, Const) for t in self.args)
+
+    def __str__(self) -> str:
+        return f"{self.predicate}({', '.join(str(a) for a in self.args)})"
+
+
+@dataclass(frozen=True, slots=True)
+class Top(Formula):
+    """The constant *true*."""
+
+    def free_variables(self) -> frozenset[Var]:
+        return frozenset()
+
+    def substitute(self, mapping: Mapping[Var, Term]) -> "Top":
+        return self
+
+    def __str__(self) -> str:
+        return "true"
+
+
+@dataclass(frozen=True, slots=True)
+class Bottom(Formula):
+    """The constant *false*."""
+
+    def free_variables(self) -> frozenset[Var]:
+        return frozenset()
+
+    def substitute(self, mapping: Mapping[Var, Term]) -> "Bottom":
+        return self
+
+    def __str__(self) -> str:
+        return "false"
+
+
+TRUE = Top()
+FALSE = Bottom()
+
+
+@dataclass(frozen=True, slots=True)
+class Not(Formula):
+    """Negation ``~f``."""
+
+    sub: Formula
+
+    def children(self) -> tuple[Formula, ...]:
+        return (self.sub,)
+
+    def free_variables(self) -> frozenset[Var]:
+        return self.sub.free_variables()
+
+    def substitute(self, mapping: Mapping[Var, Term]) -> "Formula":
+        return Not(self.sub.substitute(mapping))
+
+    def __str__(self) -> str:
+        return f"~{_wrap(self.sub)}"
+
+
+def _flatten(cls, parts: Iterable[Formula]) -> tuple[Formula, ...]:
+    """Flatten nested n-ary connectives of the same class."""
+    out: list[Formula] = []
+    for part in parts:
+        if isinstance(part, cls):
+            out.extend(part.parts)
+        else:
+            out.append(part)
+    return tuple(out)
+
+
+@dataclass(frozen=True, slots=True)
+class And(Formula):
+    """N-ary conjunction. Use :meth:`of` to build with simplification."""
+
+    parts: tuple[Formula, ...]
+
+    @staticmethod
+    def of(parts: Iterable[Formula]) -> Formula:
+        """Build a conjunction, flattening and applying unit laws."""
+        flat = [p for p in _flatten(And, parts) if not isinstance(p, Top)]
+        if any(isinstance(p, Bottom) for p in flat):
+            return FALSE
+        if not flat:
+            return TRUE
+        if len(flat) == 1:
+            return flat[0]
+        return And(tuple(flat))
+
+    def children(self) -> tuple[Formula, ...]:
+        return self.parts
+
+    def free_variables(self) -> frozenset[Var]:
+        return frozenset().union(*(p.free_variables() for p in self.parts))
+
+    def substitute(self, mapping: Mapping[Var, Term]) -> Formula:
+        return And.of(p.substitute(mapping) for p in self.parts)
+
+    def __str__(self) -> str:
+        return " & ".join(_wrap(p) for p in self.parts)
+
+
+@dataclass(frozen=True, slots=True)
+class Or(Formula):
+    """N-ary disjunction. Use :meth:`of` to build with simplification."""
+
+    parts: tuple[Formula, ...]
+
+    @staticmethod
+    def of(parts: Iterable[Formula]) -> Formula:
+        """Build a disjunction, flattening and applying unit laws."""
+        flat = [p for p in _flatten(Or, parts) if not isinstance(p, Bottom)]
+        if any(isinstance(p, Top) for p in flat):
+            return TRUE
+        if not flat:
+            return FALSE
+        if len(flat) == 1:
+            return flat[0]
+        return Or(tuple(flat))
+
+    def children(self) -> tuple[Formula, ...]:
+        return self.parts
+
+    def free_variables(self) -> frozenset[Var]:
+        return frozenset().union(*(p.free_variables() for p in self.parts))
+
+    def substitute(self, mapping: Mapping[Var, Term]) -> Formula:
+        return Or.of(p.substitute(mapping) for p in self.parts)
+
+    def __str__(self) -> str:
+        return " | ".join(_wrap(p) for p in self.parts)
+
+
+class _Quantifier(Formula):
+    """Shared behaviour of :class:`Exists` and :class:`Forall`."""
+
+    __slots__ = ()
+
+    var: Var
+    sub: Formula
+
+    def children(self) -> tuple[Formula, ...]:
+        return (self.sub,)
+
+    def free_variables(self) -> frozenset[Var]:
+        return self.sub.free_variables() - {self.var}
+
+    def substitute(self, mapping: Mapping[Var, Term]) -> Formula:
+        # Drop any binding for the bound variable, and rename the bound
+        # variable when a substituted term would be captured.
+        mapping = {v: t for v, t in mapping.items() if v != self.var}
+        if not mapping:
+            return self
+        captured = any(
+            isinstance(t, Var) and t == self.var
+            for v, t in mapping.items()
+            if v in self.sub.free_variables()
+        )
+        var, sub = self.var, self.sub
+        if captured:
+            fresh = _fresh_variable(
+                var, sub.free_variables() | {t for t in mapping.values() if isinstance(t, Var)}
+            )
+            sub = sub.substitute({var: fresh})
+            var = fresh
+        return type(self)(var, sub.substitute(mapping))
+
+
+@dataclass(frozen=True, slots=True)
+class Exists(_Quantifier):
+    """Existential quantification ``exists v. f``."""
+
+    var: Var
+    sub: Formula
+
+    def __str__(self) -> str:
+        return f"exists {self.var}. {_wrap(self.sub)}"
+
+
+@dataclass(frozen=True, slots=True)
+class Forall(_Quantifier):
+    """Universal quantification ``forall v. f``."""
+
+    var: Var
+    sub: Formula
+
+    def __str__(self) -> str:
+        return f"forall {self.var}. {_wrap(self.sub)}"
+
+
+def _wrap(f: Formula) -> str:
+    """Parenthesize non-leaf subformulas when printing."""
+    if isinstance(f, (Atom, Top, Bottom, Not)):
+        return str(f)
+    return f"({f})"
+
+
+def _fresh_variable(base: Var, avoid: frozenset[Var] | set[Var]) -> Var:
+    """A variable named after *base* that does not collide with *avoid*."""
+    i = 0
+    while True:
+        candidate = Var(f"{base.name}_{i}")
+        if candidate not in avoid:
+            return candidate
+        i += 1
+
+
+def implies(antecedent: Formula, consequent: Formula) -> Formula:
+    """Material implication, rewritten immediately to ``~a | b``.
+
+    The paper's duality construction (Sec. 2) assumes formulas do not contain
+    the implication connective, so we never store one.
+    """
+    return Or.of((Not(antecedent), consequent))
+
+
+def iff(left: Formula, right: Formula) -> Formula:
+    """Biconditional, rewritten to ``(~l | r) & (~r | l)``."""
+    return And.of((implies(left, right), implies(right, left)))
+
+
+def exists_many(variables: Iterable[Var], body: Formula) -> Formula:
+    """``exists v1. exists v2. ... body`` over the given variables in order."""
+    result = body
+    for v in reversed(list(variables)):
+        result = Exists(v, result)
+    return result
+
+
+def forall_many(variables: Iterable[Var], body: Formula) -> Formula:
+    """``forall v1. forall v2. ... body`` over the given variables in order."""
+    result = body
+    for v in reversed(list(variables)):
+        result = Forall(v, result)
+    return result

@@ -1,0 +1,153 @@
+"""Query hypergraphs and acyclicity notions.
+
+A CQ's hypergraph has the query variables as vertices and one hyperedge per
+atom (its variable set). Two classical acyclicity notions matter in the
+paper's orbit:
+
+* **α-acyclicity** — decided by the GYO reduction (repeatedly remove ear
+  edges / isolated vertices); the standard tractability frontier for
+  deterministic query evaluation.
+* **γ-acyclicity** — a strictly stronger notion (Fagin); Theorem 8.2(c)
+  states that γ-acyclic self-join-free CQs have PTIME PQE over *symmetric*
+  databases.
+
+γ-acyclicity is decided here by Fagin's reduction system: repeatedly
+(1) delete vertices that occur in exactly one edge,
+(2) delete edges equal to another edge or equal to a *union-irrelevant*
+    singleton, and
+(3) merge vertices occurring in exactly the same set of edges;
+the hypergraph is γ-acyclic iff this terminates with every edge empty.
+Equivalently (the characterization we implement, following Fagin 1983):
+a hypergraph is γ-acyclic iff it is α-acyclic and its *Bachman diagram*
+contains no cycle; we use the simpler reduction-based test below, validated
+against known examples in the tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable
+
+from .cq import ConjunctiveQuery
+
+Edge = FrozenSet
+
+
+@dataclass(frozen=True)
+class Hypergraph:
+    """Vertices plus a multiset-free set of hyperedges."""
+
+    vertices: frozenset
+    edges: frozenset[Edge]
+
+    @staticmethod
+    def of_query(query: ConjunctiveQuery) -> "Hypergraph":
+        edges = frozenset(
+            frozenset(atom.free_variables()) for atom in query.atoms
+        )
+        return Hypergraph(frozenset(query.variables), edges)
+
+    @staticmethod
+    def from_edges(edges: Iterable[Iterable]) -> "Hypergraph":
+        frozen = frozenset(frozenset(e) for e in edges)
+        vertices = frozenset(v for e in frozen for v in e)
+        return Hypergraph(vertices, frozen)
+
+
+def is_alpha_acyclic(graph: Hypergraph) -> bool:
+    """GYO reduction: α-acyclic iff all edges can be eliminated.
+
+    Repeat until fixpoint: remove vertices contained in at most one edge;
+    remove edges contained in another edge. α-acyclic iff at most one
+    (possibly empty) edge remains.
+    """
+    edges = [set(e) for e in graph.edges]
+    changed = True
+    while changed:
+        changed = False
+        # vertices in at most one edge are "ears" and can be dropped
+        occurrences: dict = {}
+        for edge in edges:
+            for v in edge:
+                occurrences[v] = occurrences.get(v, 0) + 1
+        for edge in edges:
+            lonely = {v for v in edge if occurrences[v] <= 1}
+            if lonely:
+                edge -= lonely
+                changed = True
+        # drop empty edges, duplicates, and edges contained in another edge
+        unique: list[set] = []
+        for edge in edges:
+            if not edge:
+                changed = True
+                continue
+            if any(edge < other for other in edges if other is not edge):
+                changed = True
+                continue
+            if any(edge == seen for seen in unique):
+                changed = True
+                continue
+            unique.append(edge)
+        edges = unique
+    return len(edges) <= 1
+
+
+def is_gamma_acyclic(graph: Hypergraph) -> bool:
+    """Fagin's γ-acyclicity by the reduction system (see module docstring)."""
+    edges = [set(e) for e in graph.edges if e]
+    changed = True
+    while changed and edges:
+        changed = False
+        # (1) delete vertices occurring in exactly one edge
+        occurrences: dict = {}
+        for edge in edges:
+            for v in edge:
+                occurrences[v] = occurrences.get(v, 0) + 1
+        for edge in edges:
+            lonely = {v for v in edge if occurrences[v] == 1}
+            if lonely:
+                edge -= lonely
+                changed = True
+        # (2) delete empty edges and duplicate edges
+        deduped: list[set] = []
+        for edge in edges:
+            if not edge:
+                changed = True
+                continue
+            if any(edge == other for other in deduped):
+                changed = True
+                continue
+            deduped.append(edge)
+        edges = deduped
+        # (3) merge vertices with identical edge-membership ("modules")
+        membership: dict = {}
+        for v in {u for e in edges for u in e}:
+            key = frozenset(i for i, e in enumerate(edges) if v in e)
+            membership.setdefault(key, []).append(v)
+        for group in membership.values():
+            if len(group) > 1:
+                keep, *drop = group
+                for edge in edges:
+                    if keep in edge:
+                        for v in drop:
+                            edge.discard(v)
+                changed = True
+        # (4) γ-rule: an edge that is a singleton {v} may be deleted when v
+        # occurs in some other edge (it adds no connectivity constraints)
+        singletons = [e for e in edges if len(e) == 1]
+        for single in singletons:
+            (v,) = tuple(single)
+            if any(v in other for other in edges if other is not single):
+                edges.remove(single)
+                changed = True
+                break
+    return not edges
+
+
+def query_is_gamma_acyclic(query: ConjunctiveQuery) -> bool:
+    """Theorem 8.2(c)'s syntactic condition for a self-join-free CQ."""
+    return is_gamma_acyclic(Hypergraph.of_query(query))
+
+
+def query_is_alpha_acyclic(query: ConjunctiveQuery) -> bool:
+    return is_alpha_acyclic(Hypergraph.of_query(query))

@@ -1,0 +1,83 @@
+"""Model checking: does a possible world satisfy a first-order sentence?
+
+A *possible world* is a finite set of ground facts ``(relation, values)``
+over a finite domain. :func:`satisfies` implements the standard Tarskian
+semantics by direct recursion — it is the reference oracle against which all
+inference engines are tested.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from .formulas import And, Atom, Bottom, Exists, Forall, Formula, Not, Or, Top
+from .terms import Const, Var
+
+Fact = tuple[str, tuple]
+World = frozenset
+
+
+def ground_atom(atom: Atom, env: Mapping[Var, object]) -> Fact:
+    """The fact denoted by *atom* under a variable environment."""
+    values = []
+    for term in atom.args:
+        if isinstance(term, Const):
+            values.append(term.value)
+        else:
+            try:
+                values.append(env[term])
+            except KeyError:
+                raise ValueError(f"unbound variable {term} in {atom}") from None
+    return (atom.predicate, tuple(values))
+
+
+def satisfies(
+    world: Iterable[Fact],
+    domain: Iterable,
+    sentence: Formula,
+    env: Mapping[Var, object] | None = None,
+) -> bool:
+    """True when the world (a set of facts) models the sentence.
+
+    *domain* supplies the range of the quantifiers; it must contain every
+    value mentioned by the world and by the sentence's constants.
+    """
+    facts = world if isinstance(world, (set, frozenset)) else frozenset(world)
+    values = tuple(domain)
+    environment: dict[Var, object] = dict(env or {})
+
+    def check(f: Formula) -> bool:
+        if isinstance(f, Top):
+            return True
+        if isinstance(f, Bottom):
+            return False
+        if isinstance(f, Atom):
+            return ground_atom(f, environment) in facts
+        if isinstance(f, Not):
+            return not check(f.sub)
+        if isinstance(f, And):
+            return all(check(p) for p in f.parts)
+        if isinstance(f, Or):
+            return any(check(p) for p in f.parts)
+        if isinstance(f, (Exists, Forall)):
+            missing_marker = object()
+            previous = environment.get(f.var, missing_marker)
+            want = isinstance(f, Exists)
+            result = not want
+            for value in values:
+                environment[f.var] = value
+                if check(f.sub) == want:
+                    result = want
+                    break
+            if previous is missing_marker:
+                environment.pop(f.var, None)
+            else:
+                environment[f.var] = previous
+            return result
+        raise TypeError(f"unknown formula node {f!r}")
+
+    missing = sentence.free_variables() - set(environment)
+    if missing:
+        names = ", ".join(sorted(v.name for v in missing))
+        raise ValueError(f"sentence has unbound free variables: {names}")
+    return check(sentence)

@@ -1,0 +1,64 @@
+"""First-order terms: variables and constants.
+
+Terms are the leaves of every formula in :mod:`repro.logic`. Both kinds are
+immutable and hashable so they can be used freely as dictionary keys, e.g. in
+substitutions and in the canonical-form machinery of :mod:`repro.logic.cq`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+
+@dataclass(frozen=True, slots=True)
+class Var:
+    """A first-order variable, identified by its name."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+    def __repr__(self) -> str:
+        return f"Var({self.name!r})"
+
+
+@dataclass(frozen=True, slots=True)
+class Const:
+    """A domain constant.
+
+    The wrapped ``value`` may be any hashable Python object (strings and ints
+    in practice). Constants compare by value, never by identity.
+    """
+
+    value: object
+
+    def __str__(self) -> str:
+        return repr(self.value) if isinstance(self.value, str) else str(self.value)
+
+    def __repr__(self) -> str:
+        return f"Const({self.value!r})"
+
+
+Term = Union[Var, Const]
+
+
+def is_variable(term: Term) -> bool:
+    """Return True when *term* is a :class:`Var`."""
+    return isinstance(term, Var)
+
+
+def is_constant(term: Term) -> bool:
+    """Return True when *term* is a :class:`Const`."""
+    return isinstance(term, Const)
+
+
+def variables_of(terms) -> frozenset[Var]:
+    """The set of variables occurring in an iterable of terms."""
+    return frozenset(t for t in terms if isinstance(t, Var))
+
+
+def constants_of(terms) -> frozenset[Const]:
+    """The set of constants occurring in an iterable of terms."""
+    return frozenset(t for t in terms if isinstance(t, Const))

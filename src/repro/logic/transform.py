@@ -1,0 +1,234 @@
+"""Syntactic transformations on first-order formulas.
+
+Implements the constructions used throughout the paper:
+
+* negation normal form (NNF),
+* the *dual query* of Sec. 2 (swap the quantifiers and the connectives),
+* prenex normal form with its ∀*/∃* prefix test,
+* the *unate* test of Sec. 4 (every relation symbol occurs with a single
+  polarity), and
+* the unate-to-monotone rewrite used in the proof of Theorem 4.1 (negated
+  symbols replaced by fresh complement symbols).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .formulas import (
+    FALSE,
+    TRUE,
+    And,
+    Atom,
+    Bottom,
+    Exists,
+    Forall,
+    Formula,
+    Not,
+    Or,
+    Top,
+    _fresh_variable,
+)
+from .terms import Var
+
+
+def to_nnf(formula: Formula) -> Formula:
+    """Negation normal form: push negations down to atoms."""
+    return _nnf(formula, negate=False)
+
+
+def _nnf(f: Formula, negate: bool) -> Formula:
+    if isinstance(f, Atom):
+        return Not(f) if negate else f
+    if isinstance(f, Top):
+        return FALSE if negate else TRUE
+    if isinstance(f, Bottom):
+        return TRUE if negate else FALSE
+    if isinstance(f, Not):
+        return _nnf(f.sub, not negate)
+    if isinstance(f, And):
+        parts = tuple(_nnf(p, negate) for p in f.parts)
+        return Or.of(parts) if negate else And.of(parts)
+    if isinstance(f, Or):
+        parts = tuple(_nnf(p, negate) for p in f.parts)
+        return And.of(parts) if negate else Or.of(parts)
+    if isinstance(f, Exists):
+        cls = Forall if negate else Exists
+        return cls(f.var, _nnf(f.sub, negate))
+    if isinstance(f, Forall):
+        cls = Exists if negate else Forall
+        return cls(f.var, _nnf(f.sub, negate))
+    raise TypeError(f"unknown formula node: {f!r}")
+
+
+def dual(formula: Formula) -> Formula:
+    """The dual query of Sec. 2: swap ∃/∀ and ∧/∨, atoms unchanged.
+
+    The formula must not contain implication (our AST cannot express it) and
+    the paper's equivalence ``PQE(Q) ≡ PQE(dual(Q))`` holds for any formula
+    built from atoms, ¬, ∧, ∨, ∃, ∀.
+    """
+    if isinstance(formula, (Atom, Top, Bottom)):
+        return formula
+    if isinstance(formula, Not):
+        return Not(dual(formula.sub))
+    if isinstance(formula, And):
+        return Or.of(dual(p) for p in formula.parts)
+    if isinstance(formula, Or):
+        return And.of(dual(p) for p in formula.parts)
+    if isinstance(formula, Exists):
+        return Forall(formula.var, dual(formula.sub))
+    if isinstance(formula, Forall):
+        return Exists(formula.var, dual(formula.sub))
+    raise TypeError(f"unknown formula node: {formula!r}")
+
+
+def standardize_apart(formula: Formula) -> Formula:
+    """Rename bound variables so that every quantifier binds a unique name.
+
+    Free variables keep their names. Required before prenexing.
+    """
+    used = {v.name for v in formula.free_variables()}
+
+    def rename(f: Formula, mapping: dict[Var, Var]) -> Formula:
+        if isinstance(f, Atom):
+            return f.substitute(mapping)
+        if isinstance(f, (Top, Bottom)):
+            return f
+        if isinstance(f, Not):
+            return Not(rename(f.sub, mapping))
+        if isinstance(f, And):
+            return And.of(rename(p, mapping) for p in f.parts)
+        if isinstance(f, Or):
+            return Or.of(rename(p, mapping) for p in f.parts)
+        if isinstance(f, (Exists, Forall)):
+            var = f.var
+            if var.name in used:
+                var = _fresh_variable(f.var, {Var(n) for n in used})
+            used.add(var.name)
+            inner = dict(mapping)
+            inner[f.var] = var
+            return type(f)(var, rename(f.sub, inner))
+        raise TypeError(f"unknown formula node: {f!r}")
+
+    return rename(formula, {})
+
+
+@dataclass(frozen=True)
+class PrenexForm:
+    """A formula split into quantifier prefix and quantifier-free matrix."""
+
+    prefix: tuple[tuple[str, Var], ...]  # ("exists" | "forall", variable)
+    matrix: Formula
+
+    def to_formula(self) -> Formula:
+        result = self.matrix
+        for kind, var in reversed(self.prefix):
+            result = Exists(var, result) if kind == "exists" else Forall(var, result)
+        return result
+
+    def prefix_kinds(self) -> tuple[str, ...]:
+        return tuple(kind for kind, _ in self.prefix)
+
+
+def prenex(formula: Formula) -> PrenexForm:
+    """Prenex normal form of an NNF formula.
+
+    The input is first normalized (NNF + standardize-apart); quantifiers are
+    then pulled to the front left-to-right. The result is logically
+    equivalent to the input.
+    """
+    normalized = standardize_apart(to_nnf(formula))
+
+    def pull(f: Formula) -> tuple[list[tuple[str, Var]], Formula]:
+        if isinstance(f, (Atom, Top, Bottom, Not)):
+            return [], f
+        if isinstance(f, Exists):
+            prefix, matrix = pull(f.sub)
+            return [("exists", f.var)] + prefix, matrix
+        if isinstance(f, Forall):
+            prefix, matrix = pull(f.sub)
+            return [("forall", f.var)] + prefix, matrix
+        if isinstance(f, (And, Or)):
+            prefix: list[tuple[str, Var]] = []
+            matrices = []
+            for part in f.parts:
+                sub_prefix, sub_matrix = pull(part)
+                prefix.extend(sub_prefix)
+                matrices.append(sub_matrix)
+            combined = And.of(matrices) if isinstance(f, And) else Or.of(matrices)
+            return prefix, combined
+        raise TypeError(f"unknown formula node: {f!r}")
+
+    prefix, matrix = pull(normalized)
+    return PrenexForm(tuple(prefix), matrix)
+
+
+def polarity_map(formula: Formula) -> dict[str, set[int]]:
+    """Occurrence polarities per relation symbol.
+
+    Returns a map from relation name to a subset of ``{+1, -1}``: ``+1`` for
+    at least one positive occurrence, ``-1`` for at least one negated one.
+    Computed on the NNF of the formula.
+    """
+    polarities: dict[str, set[int]] = {}
+
+    def visit(f: Formula, sign: int) -> None:
+        if isinstance(f, Atom):
+            polarities.setdefault(f.predicate, set()).add(sign)
+        elif isinstance(f, Not):
+            visit(f.sub, -sign)
+        elif isinstance(f, (And, Or)):
+            for part in f.parts:
+                visit(part, sign)
+        elif isinstance(f, (Exists, Forall)):
+            visit(f.sub, sign)
+
+    visit(to_nnf(formula), +1)
+    return polarities
+
+
+def is_unate(formula: Formula) -> bool:
+    """Sec. 4: every relation symbol occurs only positively or only negated."""
+    return all(len(signs) == 1 for signs in polarity_map(formula).values())
+
+
+def is_monotone(formula: Formula) -> bool:
+    """True when no relation symbol has a negated occurrence (in NNF)."""
+    return all(signs == {+1} for signs in polarity_map(formula).values())
+
+
+COMPLEMENT_SUFFIX = "__neg"
+
+
+def unate_to_monotone(formula: Formula) -> Formula:
+    """Rewrite a unate formula into a monotone one over complement symbols.
+
+    Every negated occurrence ``~R(t...)`` of a negatively-occurring symbol is
+    replaced by the fresh positive symbol ``R__neg(t...)`` (Theorem 4.1's
+    proof sketch). The caller is responsible for complementing the
+    probabilities of the renamed relations (``p' = 1 - p``); see
+    :func:`repro.core.tid.complement_relations`.
+    """
+    if not is_unate(formula):
+        raise ValueError("formula is not unate")
+    negative = {
+        name for name, signs in polarity_map(formula).items() if signs == {-1}
+    }
+
+    def rewrite(f: Formula) -> Formula:
+        if isinstance(f, Atom):
+            return f
+        if isinstance(f, Not):
+            if isinstance(f.sub, Atom) and f.sub.predicate in negative:
+                return Atom(f.sub.predicate + COMPLEMENT_SUFFIX, f.sub.args)
+            return Not(rewrite(f.sub))
+        if isinstance(f, And):
+            return And.of(rewrite(p) for p in f.parts)
+        if isinstance(f, Or):
+            return Or.of(rewrite(p) for p in f.parts)
+        if isinstance(f, (Exists, Forall)):
+            return type(f)(f.var, rewrite(f.sub))
+        return f
+
+    return rewrite(to_nnf(formula))

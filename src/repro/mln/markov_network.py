@@ -1,0 +1,136 @@
+"""Boolean Markov networks — the appendix's weighted-factor machinery.
+
+A factor is ``(w, G)``: weight *w* when the Boolean formula *G* holds, 1
+otherwise. Together with per-variable weights this defines the factorized
+distribution ``p'`` of the appendix:
+
+    weight'(θ) = Π_{θ(Xᵢ)=1} wᵢ · Π_{(w,G): θ ⊨ G} w
+    p'(θ)      = weight'(θ) / Z'
+
+The module also implements the appendix's two conversions of a factor into
+an *independent* variable plus a constraint — the propositional blueprint of
+Proposition 3.1 — including the negative-weight case ``w < 1`` where the
+auxiliary variable gets a non-standard "probability" outside [0, 1].
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Iterator, Mapping
+
+from ..booleans.expr import BExpr, BVar, bor, evaluate
+from ..booleans.ops import substitute_exprs
+from ..booleans.expr import BAnd, BOr, bnot
+
+
+@dataclass(frozen=True)
+class Factor:
+    """A weighted Boolean factor (w, G)."""
+
+    weight: float
+    formula: BExpr
+
+
+@dataclass
+class BooleanMarkovNetwork:
+    """Per-variable weights plus factors, as in the appendix's Fig. 3."""
+
+    variable_weights: dict[int, float]
+    factors: list[Factor] = field(default_factory=list)
+
+    def variables(self) -> list[int]:
+        out = set(self.variable_weights)
+        for factor in self.factors:
+            out |= factor.formula.variables()
+        return sorted(out)
+
+    def assignments(self) -> Iterator[dict[int, bool]]:
+        variables = self.variables()
+        for bits in itertools.product((False, True), repeat=len(variables)):
+            yield dict(zip(variables, bits))
+
+    def weight_of(self, assignment: Mapping[int, bool]) -> float:
+        """weight'(θ) of the appendix."""
+        weight = 1.0
+        for var, w in self.variable_weights.items():
+            if assignment.get(var, False):
+                weight *= w
+        for factor in self.factors:
+            if evaluate(factor.formula, assignment):
+                weight *= factor.weight
+        return weight
+
+    def partition_function(self) -> float:
+        return sum(self.weight_of(a) for a in self.assignments())
+
+    def probability(self, event: BExpr) -> float:
+        """p'(F) = weight'(F)/Z' for a Boolean event F."""
+        z = self.partition_function()
+        total = sum(
+            self.weight_of(a) for a in self.assignments() if evaluate(event, a)
+        )
+        return total / z
+
+    def weight_of_formula(self, event: BExpr) -> float:
+        return sum(
+            self.weight_of(a) for a in self.assignments() if evaluate(event, a)
+        )
+
+
+@dataclass(frozen=True)
+class IndependentEncoding:
+    """An independent model + constraint replacing one factor."""
+
+    variable_weights: dict[int, float]
+    constraint: BExpr
+
+
+def encode_factor_iff(
+    network: BooleanMarkovNetwork, factor_index: int, fresh_var: int
+) -> tuple[BooleanMarkovNetwork, BExpr]:
+    """First appendix approach: weight(X) = w, Γ = (X ⟺ G).
+
+    Returns the network without the factor (X added with weight w) and the
+    constraint to condition on.
+    """
+    factor = network.factors[factor_index]
+    remaining = [f for i, f in enumerate(network.factors) if i != factor_index]
+    weights = dict(network.variable_weights)
+    weights[fresh_var] = factor.weight
+    x = BVar(fresh_var)
+    g = factor.formula
+    constraint = BOr.of(
+        (BAnd.of((x, g)), BAnd.of((bnot(x), bnot(g))))
+    )
+    return BooleanMarkovNetwork(weights, remaining), constraint
+
+
+def encode_factor_or(
+    network: BooleanMarkovNetwork, factor_index: int, fresh_var: int
+) -> tuple[BooleanMarkovNetwork, BExpr]:
+    """Second appendix approach: weight(X) = 1/(w − 1), Γ = X ∨ G.
+
+    For w < 1 the auxiliary weight is negative — a *non-standard*
+    probability — yet every conditional probability p''(F | Γ) remains a
+    standard value in [0, 1] (the appendix's closing observation).
+    """
+    factor = network.factors[factor_index]
+    if factor.weight == 1.0:
+        raise ValueError("weight 1 factors are vacuous; drop them instead")
+    remaining = [f for i, f in enumerate(network.factors) if i != factor_index]
+    weights = dict(network.variable_weights)
+    weights[fresh_var] = 1.0 / (factor.weight - 1.0)
+    constraint = bor(BVar(fresh_var), factor.formula)
+    return BooleanMarkovNetwork(weights, remaining), constraint
+
+
+def conditional_probability(
+    network: BooleanMarkovNetwork, event: BExpr, constraint: BExpr
+) -> float:
+    """p''(F | Γ) in the (possibly non-standard-weight) independent model."""
+    z = network.weight_of_formula(constraint)
+    if z == 0:
+        raise ZeroDivisionError("constraint has zero weight")
+    joint = network.weight_of_formula(BAnd.of((event, constraint)))
+    return joint / z

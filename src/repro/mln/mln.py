@@ -1,0 +1,130 @@
+"""Markov Logic Networks (Sec. 3).
+
+An MLN is a set of *soft constraints* ``(w, Δ)``: a non-negative weight and a
+first-order formula with free variables. Grounding substitutes domain
+constants for the free variables; each grounding is a factor contributing
+weight *w* to every world that satisfies it (and 1 otherwise):
+
+    weight(W) = Π_{(w,F) ∈ ground(MLN): W ⊨ F} w
+    p(W)      = weight(W) / Z,   Z = Σ_W weight(W)
+
+The reference implementation enumerates the full set of possible worlds over
+``Tup(DOM)`` — every tuple of every predicate over the domain — so it is
+exponential and intended for small domains (the oracle for Prop. 3.1).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Optional
+
+from ..logic.formulas import Formula
+from ..logic.semantics import Fact, satisfies
+from ..logic.terms import Const, Var
+
+
+@dataclass(frozen=True)
+class SoftConstraint:
+    """A weighted first-order formula; free variables range over the domain.
+
+    ``weight = inf`` makes the constraint hard (worlds violating any
+    grounding get weight 0).
+    """
+
+    weight: float
+    formula: Formula
+
+    def __post_init__(self) -> None:
+        if self.weight < 0:
+            raise ValueError("MLN weights must be non-negative")
+
+    def free_variables(self) -> tuple[Var, ...]:
+        return tuple(sorted(self.formula.free_variables(), key=lambda v: v.name))
+
+    def groundings(self, domain: Iterable) -> Iterator[tuple[float, Formula]]:
+        """All (weight, ground sentence) factors of this constraint."""
+        variables = self.free_variables()
+        for values in itertools.product(tuple(domain), repeat=len(variables)):
+            mapping = {var: Const(value) for var, value in zip(variables, values)}
+            yield self.weight, self.formula.substitute(mapping)
+
+
+@dataclass
+class MarkovLogicNetwork:
+    """Soft constraints over an explicit vocabulary and domain."""
+
+    constraints: list[SoftConstraint]
+    domain: tuple
+    arities: dict[str, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.domain = tuple(self.domain)
+        inferred: dict[str, int] = {}
+        for constraint in self.constraints:
+            for atom in constraint.formula.atoms():
+                existing = inferred.setdefault(atom.predicate, atom.arity)
+                if existing != atom.arity:
+                    raise ValueError(
+                        f"predicate {atom.predicate} used with two arities"
+                    )
+        for name, arity in inferred.items():
+            self.arities.setdefault(name, arity)
+
+    # -- grounding ---------------------------------------------------------------
+
+    def ground(self) -> list[tuple[float, Formula]]:
+        """ground(MLN): every factor of the underlying Markov network."""
+        factors: list[tuple[float, Formula]] = []
+        for constraint in self.constraints:
+            factors.extend(constraint.groundings(self.domain))
+        return factors
+
+    def possible_tuples(self) -> list[Fact]:
+        """Tup(DOM): all tuples over the vocabulary and domain."""
+        out: list[Fact] = []
+        for name in sorted(self.arities):
+            for values in itertools.product(self.domain, repeat=self.arities[name]):
+                out.append((name, values))
+        return out
+
+    # -- exact semantics -----------------------------------------------------------
+
+    def weight_of_world(self, world: frozenset[Fact]) -> float:
+        """Π of factor weights satisfied by the world."""
+        weight = 1.0
+        for factor_weight, sentence in self.ground():
+            if satisfies(world, self.domain, sentence):
+                if factor_weight == float("inf"):
+                    continue  # hard constraint satisfied: factor 1 by convention
+                weight *= factor_weight
+            elif factor_weight == float("inf"):
+                return 0.0
+        return weight
+
+    def worlds(self) -> Iterator[frozenset[Fact]]:
+        tuples = self.possible_tuples()
+        for bits in itertools.product((False, True), repeat=len(tuples)):
+            yield frozenset(t for t, bit in zip(tuples, bits) if bit)
+
+    def partition_function(self) -> float:
+        """Z = Σ_W weight(W); exponential enumeration."""
+        return sum(self.weight_of_world(world) for world in self.worlds())
+
+    def probability(self, query: Formula, z: Optional[float] = None) -> float:
+        """p_MLN(Q): the probability a random world satisfies the sentence."""
+        if query.free_variables():
+            raise ValueError("query must be a sentence")
+        z = self.partition_function() if z is None else z
+        if z == 0:
+            raise ZeroDivisionError("MLN partition function is zero")
+        total = 0.0
+        for world in self.worlds():
+            weight = self.weight_of_world(world)
+            if weight and satisfies(world, self.domain, query):
+                total += weight
+        return total / z
+
+    def world_probability(self, world: frozenset[Fact], z: Optional[float] = None) -> float:
+        z = self.partition_function() if z is None else z
+        return self.weight_of_world(world) / z

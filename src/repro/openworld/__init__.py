@@ -1,0 +1,5 @@
+"""Open-world probabilistic databases (Sec. 9 extension)."""
+
+from .owdb import OpenWorldDatabase, ProbabilityInterval
+
+__all__ = ["OpenWorldDatabase", "ProbabilityInterval"]

@@ -1,0 +1,129 @@
+"""Open-world probabilistic databases (Sec. 9, Ceylan–Darwiche–Van den Broeck).
+
+A closed-world TID declares every unlisted tuple impossible. An *open-world*
+probabilistic database (OpenPDB) instead allows each unlisted tuple to exist
+with any probability in [0, λ]. Query answers become *intervals*:
+
+* the lower bound is the closed-world answer (all unknown tuples at 0);
+* the upper bound, for a monotone query, is the answer on the λ-completion,
+  the TID where every possible-but-unlisted tuple gets probability λ.
+
+For non-monotone queries the same two evaluations still bracket the answer
+when the query is *unate* (each relation appears with one polarity): set the
+unknown tuples of positively-occurring relations to λ for the upper bound
+and to 0 for the lower bound, and vice versa for negative relations.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from ..core.tid import TupleIndependentDatabase
+from ..logic.cq import ConjunctiveQuery, UnionOfConjunctiveQueries
+from ..logic.formulas import Formula
+from ..logic.transform import is_unate, polarity_map
+
+
+@dataclass(frozen=True)
+class ProbabilityInterval:
+    """An interval answer [lower, upper] for an open-world query."""
+
+    lower: float
+    upper: float
+
+    def __post_init__(self) -> None:
+        if self.lower > self.upper + 1e-12:
+            raise ValueError(f"empty interval [{self.lower}, {self.upper}]")
+
+    @property
+    def width(self) -> float:
+        return self.upper - self.lower
+
+    def __contains__(self, value: float) -> bool:
+        return self.lower - 1e-12 <= value <= self.upper + 1e-12
+
+    def __str__(self) -> str:
+        return f"[{self.lower:.6f}, {self.upper:.6f}]"
+
+
+@dataclass
+class OpenWorldDatabase:
+    """A TID plus the open-world threshold λ and a declared schema.
+
+    The schema (relation name → arity) bounds which unlisted tuples are
+    "possible"; the domain defaults to the active domain of the stored
+    tuples but may be set explicitly to model unseen constants.
+    """
+
+    tid: TupleIndependentDatabase
+    threshold: float
+    schema: dict[str, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.threshold <= 1.0:
+            raise ValueError("threshold λ must lie in [0, 1]")
+        for name, relation in self.tid.relations.items():
+            self.schema.setdefault(name, relation.arity)
+
+    def domain(self) -> tuple:
+        return self.tid.domain()
+
+    def completion(self, relations: Optional[Iterable[str]] = None) -> TupleIndependentDatabase:
+        """The λ-completion: unlisted tuples of *relations* get probability λ.
+
+        With ``relations=None`` every schema relation is completed.
+        """
+        targets = set(self.schema if relations is None else relations)
+        completed = self.tid.copy()
+        domain = self.domain()
+        for name in sorted(targets):
+            arity = self.schema[name]
+            relation = completed.add_relation(
+                name, tuple(f"a{i}" for i in range(arity))
+            )
+            for values in itertools.product(domain, repeat=arity):
+                if values not in relation.rows:
+                    relation.add(values, self.threshold)
+        return completed
+
+    def unknown_tuple_count(self) -> int:
+        """How many possible tuples are unlisted (per the schema/domain)."""
+        n = len(self.domain())
+        total = 0
+        for name, arity in self.schema.items():
+            stored = len(self.tid.relations.get(name, ()))
+            total += n ** arity - stored
+        return total
+
+    def probability(
+        self, query: Formula | ConjunctiveQuery | UnionOfConjunctiveQueries
+    ) -> ProbabilityInterval:
+        """The interval answer for a monotone or unate query.
+
+        Evaluation uses the library's strategy dispatch (lifted first,
+        grounded otherwise) on the two extreme completions.
+        """
+        from ..core.pdb import ProbabilisticDatabase
+
+        if isinstance(query, (ConjunctiveQuery, UnionOfConjunctiveQueries)):
+            positive = set(self.schema)
+            negative: set[str] = set()
+        else:
+            if not is_unate(query):
+                raise ValueError(
+                    "open-world intervals need a unate query (Sec. 9)"
+                )
+            polarity = polarity_map(query)
+            positive = {p for p, signs in polarity.items() if signs == {+1}}
+            negative = {p for p, signs in polarity.items() if signs == {-1}}
+
+        lower_db = self.completion(negative) if negative else self.tid
+        upper_db = self.completion(positive)
+        lower = ProbabilisticDatabase(tid=lower_db).probability(query)
+        upper = ProbabilisticDatabase(tid=upper_db).probability(query)
+        return ProbabilityInterval(
+            min(lower.probability, upper.probability),
+            max(lower.probability, upper.probability),
+        )

@@ -1,0 +1,138 @@
+"""Dissociations: the plan space behind Theorem 6.1's bounds.
+
+Following Gatterbauer–Suciu, every extensional plan for a self-join-free CQ
+corresponds to a *dissociation*: extend some atoms with extra variables until
+the query becomes hierarchical, duplicate each affected tuple across the
+domain values of its new variables (keeping the original probability), and
+run the now-safe plan. The plan's output is an upper bound on p(Q), and the
+minimum over (minimal) dissociations is the best extensional upper bound.
+
+Example (H0's CQ form): R(x), S(x,y), T(y) is non-hierarchical; adding y to
+R — R'(x,y) — or x to T — T'(x,y) — makes it hierarchical. Those two are the
+minimal dissociations, i.e. the two "query plans" of Sec. 6.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterator
+
+from ..core.tid import TupleIndependentDatabase
+from ..logic.cq import ConjunctiveQuery
+from ..logic.formulas import Atom
+from ..logic.terms import Var
+
+
+@dataclass(frozen=True)
+class Dissociation:
+    """Per-atom sets of added variables (aligned with the query's atoms)."""
+
+    query: ConjunctiveQuery
+    added: tuple[frozenset[Var], ...]
+
+    def is_trivial(self) -> bool:
+        return all(not extra for extra in self.added)
+
+    def total_added(self) -> int:
+        return sum(len(extra) for extra in self.added)
+
+    def dissociated_query(self) -> ConjunctiveQuery:
+        """The query over the widened relations ``R__diss``.
+
+        Added variables are appended to the atom's argument list in sorted
+        order; untouched atoms keep their original relation name.
+        """
+        atoms = []
+        for atom, extra in zip(self.query.atoms, self.added):
+            if not extra:
+                atoms.append(atom)
+                continue
+            ordered = tuple(sorted(extra, key=lambda v: v.name))
+            atoms.append(
+                Atom(atom.predicate + "__diss", atom.args + ordered)
+            )
+        return ConjunctiveQuery(tuple(atoms))
+
+    def dissociated_database(
+        self, db: TupleIndependentDatabase
+    ) -> TupleIndependentDatabase:
+        """Copy *db*, materializing the widened relations.
+
+        Every original tuple of a dissociated relation is duplicated once per
+        combination of domain values for the added variables, keeping its
+        original probability — the copies are treated as independent, which
+        is exactly the relaxation that makes the plan an upper bound.
+        """
+        result = db.copy()
+        domain = db.domain()
+        for atom, extra in zip(self.query.atoms, self.added):
+            if not extra:
+                continue
+            source = db.relations.get(atom.predicate)
+            arity = atom.arity + len(extra)
+            widened = result.add_relation(
+                atom.predicate + "__diss",
+                tuple(f"a{i}" for i in range(arity)),
+            )
+            if source is None:
+                continue
+            for values, prob in source.items():
+                for suffix in itertools.product(domain, repeat=len(extra)):
+                    widened.add(values + suffix, prob)
+        return result
+
+    def __str__(self) -> str:
+        parts = []
+        for atom, extra in zip(self.query.atoms, self.added):
+            if extra:
+                names = ", ".join(v.name for v in sorted(extra, key=lambda v: v.name))
+                parts.append(f"{atom} + ({names})")
+        return "; ".join(parts) if parts else "identity"
+
+
+def all_dissociations(query: ConjunctiveQuery) -> Iterator[Dissociation]:
+    """All variable-additions that make the query hierarchical.
+
+    Candidates per atom are subsets of the query variables missing from it.
+    Exponential in the query size (queries are small); results are yielded
+    in order of total added variables.
+    """
+    if query.has_self_joins():
+        raise ValueError("dissociation bounds require a self-join-free query")
+    variables = sorted(query.variables, key=lambda v: v.name)
+    options_per_atom = []
+    for atom in query.atoms:
+        missing = [v for v in variables if v not in atom.free_variables()]
+        options = [
+            frozenset(combo)
+            for size in range(len(missing) + 1)
+            for combo in itertools.combinations(missing, size)
+        ]
+        options_per_atom.append(options)
+
+    candidates = []
+    for choice in itertools.product(*options_per_atom):
+        dissociation = Dissociation(query, tuple(choice))
+        if dissociation.dissociated_query().is_hierarchical():
+            candidates.append(dissociation)
+    candidates.sort(key=lambda d: d.total_added())
+    yield from candidates
+
+
+def minimal_dissociations(query: ConjunctiveQuery) -> list[Dissociation]:
+    """Dissociations minimal under componentwise ⊆ of the added sets.
+
+    Larger dissociations are dominated: they relax more joins and can only
+    loosen the upper bound, so pruning them loses nothing (Sec. 6's
+    "pruning plans dominated by others").
+    """
+    minimal: list[Dissociation] = []
+    for candidate in all_dissociations(query):
+        dominated = any(
+            all(small <= big for small, big in zip(kept.added, candidate.added))
+            for kept in minimal
+        )
+        if not dominated:
+            minimal.append(candidate)
+    return minimal

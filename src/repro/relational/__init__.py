@@ -1,0 +1,34 @@
+"""Relational substrate: in-memory relations and (probabilistic) algebra."""
+
+from .relation import Relation, relation_from_rows
+from .algebra import (
+    boolean_oplus,
+    cartesian_product,
+    difference,
+    independent_project,
+    join,
+    oplus,
+    project,
+    relations_join_all,
+    rename_attributes,
+    select,
+    select_eq,
+    union,
+)
+
+__all__ = [
+    "Relation",
+    "relation_from_rows",
+    "boolean_oplus",
+    "cartesian_product",
+    "difference",
+    "independent_project",
+    "join",
+    "oplus",
+    "project",
+    "relations_join_all",
+    "rename_attributes",
+    "select",
+    "select_eq",
+    "union",
+]

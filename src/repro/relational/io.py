@@ -1,0 +1,91 @@
+"""CSV import/export for probabilistic relations and TIDs.
+
+File format: standard CSV with a header row; the last column must be named
+``P`` (case-insensitive) and holds the tuple probability, mirroring how the
+paper stores a TID inside a standard relational database (Sec. 2). A file
+without a ``P`` column loads as a deterministic relation (every P = 1).
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Iterable, Union
+
+from ..core.tid import TupleIndependentDatabase
+from .relation import Relation
+
+PathLike = Union[str, Path]
+
+
+def load_relation(path: PathLike, name: str | None = None) -> Relation:
+    """Load one relation from a CSV file (see module docstring)."""
+    path = Path(path)
+    relation_name = name if name is not None else path.stem
+    with path.open(newline="") as handle:
+        reader = csv.reader(handle)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise ValueError(f"{path}: empty file") from None
+        has_probability = bool(header) and header[-1].strip().lower() == "p"
+        attributes = tuple(
+            h.strip() for h in (header[:-1] if has_probability else header)
+        )
+        relation = Relation(relation_name, attributes)
+        for line_number, row in enumerate(reader, start=2):
+            if not row:
+                continue
+            if has_probability:
+                *values, probability_text = row
+                try:
+                    probability = float(probability_text)
+                except ValueError:
+                    raise ValueError(
+                        f"{path}:{line_number}: bad probability "
+                        f"{probability_text!r}"
+                    ) from None
+            else:
+                values, probability = row, 1.0
+            if len(values) != len(attributes):
+                raise ValueError(
+                    f"{path}:{line_number}: expected {len(attributes)} "
+                    f"values, found {len(values)}"
+                )
+            relation.add(tuple(v.strip() for v in values), probability)
+    return relation
+
+
+def save_relation(relation: Relation, path: PathLike) -> None:
+    """Write a relation as CSV with a trailing P column."""
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(list(relation.attributes) + ["P"])
+        for values, probability in sorted(
+            relation.items(), key=lambda kv: repr(kv[0])
+        ):
+            writer.writerow(list(values) + [repr(probability)])
+
+
+def load_tid(paths: Iterable[PathLike]) -> TupleIndependentDatabase:
+    """Load a TID from several CSV files (one relation per file)."""
+    db = TupleIndependentDatabase()
+    for path in paths:
+        relation = load_relation(path)
+        if relation.name in db.relations:
+            raise ValueError(f"duplicate relation {relation.name}")
+        db.relations[relation.name] = relation
+    return db
+
+
+def save_tid(db: TupleIndependentDatabase, directory: PathLike) -> list[Path]:
+    """Write every relation of a TID into ``directory/<name>.csv``."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    written = []
+    for name in sorted(db.relations):
+        path = directory / f"{name}.csv"
+        save_relation(db.relations[name], path)
+        written.append(path)
+    return written

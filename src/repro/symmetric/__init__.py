@@ -1,0 +1,20 @@
+"""Symmetric databases, FO² WFOMC (Theorem 8.1), and the H0 closed form."""
+
+from .symmetric_db import SymmetricDatabase
+from .h0 import h0_symmetric_probability
+from .scott import NotFO2Error, ScottResult, check_fo2, direct_normal_form, scott_normal_form
+from .wfomc import WFOMCProblem, wfomc
+from .evaluate import symmetric_probability
+
+__all__ = [
+    "SymmetricDatabase",
+    "h0_symmetric_probability",
+    "NotFO2Error",
+    "ScottResult",
+    "check_fo2",
+    "direct_normal_form",
+    "scott_normal_form",
+    "WFOMCProblem",
+    "wfomc",
+    "symmetric_probability",
+]

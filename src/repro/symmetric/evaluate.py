@@ -1,0 +1,54 @@
+"""PQE over symmetric databases: the Theorem 8.1 pipeline.
+
+``symmetric_probability`` evaluates any FO² sentence over a symmetric
+database in time polynomial in the domain size:
+
+1. pick the cheap :func:`repro.symmetric.scott.direct_normal_form` when the
+   sentence is already prenex (∀∀ / ∀∃ / ∀), complementing first for ∃-led
+   prefixes;
+2. otherwise run the general Scott + Skolemization transformation;
+3. hand the resulting ∀x∀y matrix to the cell-based WFOMC with weights
+   ``(p_R, 1 − p_R)`` for the database relations and the auxiliary (1, 1) /
+   (1, −1) pairs for Tseitin / Skolem predicates.
+"""
+
+from __future__ import annotations
+
+from ..logic.formulas import Exists, Forall, Formula, Not
+from ..logic.transform import to_nnf
+from .scott import ScottResult, direct_normal_form, scott_normal_form
+from .symmetric_db import SymmetricDatabase
+from .wfomc import WFOMCProblem, wfomc
+
+
+def _normal_form(sentence: Formula) -> tuple[ScottResult, bool]:
+    """(normal form, complemented?) choosing the cheapest sound route."""
+    nnf = to_nnf(sentence)
+    direct = direct_normal_form(nnf)
+    if direct is not None:
+        return direct, False
+    if isinstance(nnf, Exists):
+        complement = to_nnf(Not(nnf))
+        direct = direct_normal_form(complement)
+        if direct is not None:
+            return direct, True
+    return scott_normal_form(nnf), False
+
+
+def symmetric_probability(sentence: Formula, db: SymmetricDatabase) -> float:
+    """p(Q) over a symmetric database, polynomial in the domain size."""
+    normal, complemented = _normal_form(sentence)
+    weights: dict[str, tuple[float, float]] = {}
+    arities: dict[str, int] = dict(normal.auxiliary_arities)
+    for name, (arity, probability) in db.relations.items():
+        weights[name] = (probability, 1.0 - probability)
+        arities.setdefault(name, arity)
+    weights.update(normal.auxiliary_weights)
+    # Predicates mentioned by the matrix but absent from the database are
+    # empty relations: probability 0.
+    for atom in normal.matrix.atoms():
+        weights.setdefault(atom.predicate, (0.0, 1.0))
+    problem = WFOMCProblem(normal.matrix, weights, arities)
+    probability = wfomc(problem, db.domain_size)
+    probability = min(max(probability, 0.0), 1.0)
+    return 1.0 - probability if complemented else probability

@@ -1,0 +1,39 @@
+"""The closed-form symmetric evaluation of H0 (Sec. 8).
+
+H0 = ∀x∀y (R(x) ∨ S(x,y) ∨ T(y)) is #P-hard on arbitrary TIDs
+(Theorem 2.2), yet on a *symmetric* database it has the polynomial-time
+closed form the paper displays:
+
+    p(H0) = Σ_{k,ℓ} C(n,k) C(n,ℓ) p_R^k (1−p_R)^{n−k}
+                     p_T^ℓ (1−p_T)^{n−ℓ} p_S^{(n−k)(n−ℓ)}
+
+obtained by conditioning on |R| = k and |T| = ℓ: an S-tuple (i,j) is forced
+to be present exactly when i ∉ R and j ∉ T — there are (n−k)(n−ℓ) such
+pairs.
+
+Erratum note: the paper prints the exponent as ``n² − kℓ`` ("all n² tuples
+must be present except the kℓ tuples where i ∈ R and j ∈ T"), but S(i,j) is
+only needed when *neither* R(i) nor T(j) holds; the exception set has size
+n² − (n−k)(n−ℓ), not kℓ. The corrected formula below agrees with brute-force
+possible-world enumeration and with the cell-based FO² WFOMC for all tested
+(n, p) — see EXPERIMENTS.md E10.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def h0_symmetric_probability(n: int, p_r: float, p_s: float, p_t: float) -> float:
+    """The double-binomial closed form (corrected exponent); O(n²) time."""
+    if n < 0:
+        raise ValueError("domain size must be non-negative")
+    total = 0.0
+    for k in range(n + 1):
+        weight_k = math.comb(n, k) * (p_r ** k) * ((1.0 - p_r) ** (n - k))
+        for ell in range(n + 1):
+            weight_ell = (
+                math.comb(n, ell) * (p_t ** ell) * ((1.0 - p_t) ** (n - ell))
+            )
+            total += weight_k * weight_ell * (p_s ** ((n - k) * (n - ell)))
+    return total

@@ -1,0 +1,193 @@
+"""Scott normal form and Skolemization for FO² sentences.
+
+Every FO² sentence is transformed, in a WFOMC-preserving way, into a single
+universally quantified matrix ∀x∀y Ψ(x,y) over an extended vocabulary:
+
+1. *Tseitin step*: each quantified subformula ``Qv ψ`` (ψ quantifier-free,
+   at most one other free variable u) is replaced by a fresh predicate
+   ``Z(u)`` together with the defining clauses of ``Z(u) ⟺ Qv ψ(u,v)``.
+   One direction is a ∀∀ clause; the other is a ∀∃ clause.
+2. *Skolemization with negative weights* (Van den Broeck–Meert–Darwiche
+   [24]): the ∀∃ clause ``∀u∃v Φ(u,v)`` is replaced by the ∀∀ clause
+   ``∀u∀v (S(u) ∨ ¬Φ(u,v))`` where the fresh predicate S has weight pair
+   (1, −1). Spurious worlds (S true without witness) come in ±1 pairs and
+   cancel, so the weighted model count is preserved exactly.
+
+Tseitin predicates Z get the neutral weight pair (1, 1): in surviving
+worlds their value is determined.
+
+All clauses are normalized to use the variable names ``x`` (outer / free)
+and ``y`` (inner / bound), so the resulting matrix is directly consumable by
+:mod:`repro.symmetric.wfomc`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..logic.formulas import (
+    And,
+    Atom,
+    Bottom,
+    Exists,
+    Forall,
+    Formula,
+    Not,
+    Or,
+    Top,
+)
+from ..logic.terms import Var
+from ..logic.transform import to_nnf
+
+X = Var("x")
+Y = Var("y")
+
+
+class NotFO2Error(ValueError):
+    """The sentence uses more than two variable names."""
+
+
+@dataclass
+class ScottResult:
+    """The ∀x∀y matrix plus the weight pairs of the auxiliary predicates."""
+
+    matrix: Formula
+    auxiliary_weights: dict[str, tuple[float, float]] = field(default_factory=dict)
+    auxiliary_arities: dict[str, int] = field(default_factory=dict)
+
+
+def check_fo2(sentence: Formula) -> None:
+    """Raise :class:`NotFO2Error` unless at most two variable names occur."""
+    names = set()
+    for node in sentence.walk():
+        if isinstance(node, (Exists, Forall)):
+            names.add(node.var.name)
+        if isinstance(node, Atom):
+            names.update(v.name for v in node.free_variables())
+    if len(names) > 2:
+        raise NotFO2Error(
+            f"sentence uses {len(names)} variable names: {sorted(names)}"
+        )
+    for node in sentence.walk():
+        if isinstance(node, Atom) and node.arity > 2:
+            raise NotFO2Error(
+                f"predicate {node.predicate} has arity {node.arity} > 2"
+            )
+
+
+def scott_normal_form(sentence: Formula) -> ScottResult:
+    """Transform an FO² sentence into ∀x∀y Ψ(x,y) (see module docstring)."""
+    check_fo2(sentence)
+    if sentence.free_variables():
+        raise ValueError("input must be a sentence")
+
+    result = ScottResult(matrix=Top())
+    clauses: list[Formula] = []
+    counter = {"z": 0, "s": 0}
+
+    def fresh(kind: str, arity: int, weights: tuple[float, float]) -> str:
+        name = f"_{kind}{counter[kind]}"
+        counter[kind] += 1
+        result.auxiliary_weights[name] = weights
+        result.auxiliary_arities[name] = arity
+        return name
+
+    def add_clause(formula: Formula, outer: Var | None, inner: Var | None) -> None:
+        """Normalize clause variables to (x, y) and record it."""
+        mapping: dict[Var, Var] = {}
+        if outer is not None:
+            mapping[outer] = X
+        if inner is not None:
+            mapping[inner] = Y
+        clauses.append(formula.substitute(mapping))
+
+    def eliminate(f: Formula) -> Formula:
+        """Replace quantified subformulas bottom-up; returns quantifier-free."""
+        if isinstance(f, (Atom, Top, Bottom)):
+            return f
+        if isinstance(f, Not):
+            return Not(eliminate(f.sub))
+        if isinstance(f, And):
+            return And.of(eliminate(p) for p in f.parts)
+        if isinstance(f, Or):
+            return Or.of(eliminate(p) for p in f.parts)
+        if isinstance(f, (Exists, Forall)):
+            body = eliminate(f.sub)
+            bound = f.var
+            others = sorted(body.free_variables() - {bound}, key=lambda v: v.name)
+            if len(others) > 1:
+                raise NotFO2Error("subformula has more than one free variable")
+            outer = others[0] if others else None
+            z_name = fresh("z", 1 if outer else 0, (1.0, 1.0))
+            s_name = fresh("s", 1 if outer else 0, (1.0, -1.0))
+            z_args = (outer,) if outer else ()
+            z_atom = Atom(z_name, z_args)
+            s_atom = Atom(s_name, z_args)
+            not_body = to_nnf(Not(body))
+            if isinstance(f, Exists):
+                # body → Z  (∀∀ clause)
+                add_clause(Or.of((not_body, z_atom)), outer, bound)
+                # Z → ∃v body, Skolemized: S ∨ (Z ∧ ¬body)
+                add_clause(
+                    Or.of((s_atom, And.of((z_atom, not_body)))), outer, bound
+                )
+            else:
+                # Z → body  (∀∀ clause)
+                add_clause(Or.of((Not(z_atom), body)), outer, bound)
+                # ∀v body → Z, i.e. ∀outer ∃v (Z ∨ ¬body), Skolemized:
+                # S ∨ ¬(Z ∨ ¬body) = S ∨ (¬Z ∧ body)
+                add_clause(
+                    Or.of((s_atom, And.of((Not(z_atom), body)))), outer, bound
+                )
+            # Substitute the Z atom for the quantified subformula.
+            return z_atom
+
+    top = eliminate(to_nnf(sentence))
+    # The top-level replacement is a ground (nullary or fully eliminated)
+    # formula that must hold.
+    result.matrix = And.of([top] + clauses)
+    return result
+
+
+def direct_normal_form(sentence: Formula) -> ScottResult | None:
+    """Cheaper transformation for sentences already in prenex FO² shape.
+
+    Handles, without Tseitin predicates:
+
+    * ``∀x∀y M``           — matrix as-is, no auxiliaries;
+    * ``∀x∃y M``           — one Skolem predicate;
+    * ``∃x∀y M`` / ``∃x∃y M`` / single-variable prefixes — handled by the
+      caller through complementation, not here.
+
+    Returns None when the sentence does not match.
+    """
+    check_fo2(sentence)
+    f = to_nnf(sentence)
+    if isinstance(f, Forall):
+        inner = f.sub
+        if isinstance(inner, Forall):
+            if _quantifier_free(inner.sub):
+                matrix = inner.sub.substitute({f.var: X, inner.var: Y})
+                return ScottResult(matrix=matrix)
+            return None
+        if isinstance(inner, Exists):
+            if _quantifier_free(inner.sub):
+                body = inner.sub.substitute({f.var: X, inner.var: Y})
+                s_atom = Atom("_s0", (X,))
+                matrix = Or.of((s_atom, to_nnf(Not(body))))
+                return ScottResult(
+                    matrix=matrix,
+                    auxiliary_weights={"_s0": (1.0, -1.0)},
+                    auxiliary_arities={"_s0": 1},
+                )
+            return None
+        if _quantifier_free(inner):
+            # ∀x M(x): evaluate as ∀x∀y M(x).
+            matrix = inner.substitute({f.var: X})
+            return ScottResult(matrix=matrix)
+        return None
+    return None
+
+
+def _quantifier_free(f: Formula) -> bool:
+    return not any(isinstance(node, (Exists, Forall)) for node in f.walk())

@@ -1,0 +1,55 @@
+"""Symmetric probabilistic databases (Sec. 8).
+
+A symmetric database gives *every possible tuple* of a relation the same
+probability p_R. Its entire description is the domain size n plus one
+probability per relation — which is why PQE over symmetric databases is a
+#P₁-style problem (unary input) and why FO² queries become tractable
+(Theorem 8.1).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from ..core.tid import TupleIndependentDatabase
+
+
+@dataclass
+class SymmetricDatabase:
+    """Domain size plus per-relation (arity, probability)."""
+
+    domain_size: int
+    relations: dict[str, tuple[int, float]] = field(default_factory=dict)
+
+    def add_relation(self, name: str, arity: int, probability: float) -> None:
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError(f"probability {probability} out of [0, 1]")
+        if arity < 0:
+            raise ValueError("arity must be non-negative")
+        self.relations[name] = (arity, probability)
+
+    def probability(self, name: str) -> float:
+        return self.relations[name][1]
+
+    def arity(self, name: str) -> int:
+        return self.relations[name][0]
+
+    def domain(self) -> tuple:
+        return tuple(range(self.domain_size))
+
+    def tuple_count(self) -> int:
+        """|Tup(DOM)|: total number of possible tuples."""
+        return sum(
+            self.domain_size ** arity for arity, _ in self.relations.values()
+        )
+
+    def to_tid(self) -> TupleIndependentDatabase:
+        """Materialize the full cross-product TID (for small-n oracles)."""
+        db = TupleIndependentDatabase()
+        db.explicit_domain = frozenset(self.domain())
+        for name, (arity, probability) in sorted(self.relations.items()):
+            db.add_relation(name, tuple(f"a{i}" for i in range(arity)))
+            for values in itertools.product(self.domain(), repeat=arity):
+                db.add_fact(name, values, probability)
+        return db

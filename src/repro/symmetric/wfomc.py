@@ -1,0 +1,291 @@
+"""Symmetric weighted first-order model counting for ∀x∀y matrices.
+
+The cell-based closed form behind Theorem 8.1: given ∀x∀y Ψ(x,y) over
+nullary/unary/binary predicates with per-predicate weight pairs
+``(w_true, w_false)``,
+
+    WFOMC = Σ_ν  w(ν) · Σ_{k₁+...+k_c = n}  (n choose k₁...k_c)
+            · Π_i w(τᵢ)^{kᵢ} · Π_{i<j} r(i,j)^{kᵢkⱼ} · Π_i r(i,i)^{C(kᵢ,2)}
+
+where ν ranges over nullary assignments, the τᵢ are the *1-types* (cells):
+assignments to all unary atoms U(x) and reflexive binary atoms B(x,x)
+consistent with Ψ(x,x); w(τ) multiplies their weights; and r(i,j) is the
+*2-table* weight: the total weight of assignments to the cross atoms
+B(u,v), B(v,u) satisfying Ψ(u,v) ∧ Ψ(v,u) for u of type i, v of type j.
+
+Cells with identical interaction rows are merged (their weights add), which
+turns e.g. H0's 8 raw cells into 4 and keeps the composition sum small.
+Weights may be negative (Skolem predicates), so this computes probabilities
+of full FO² sentences after :mod:`repro.symmetric.scott`.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass, field
+from typing import Iterator, Mapping
+
+from ..logic.formulas import And, Atom, Bottom, Exists, Forall, Formula, Not, Or, Top
+from ..logic.terms import Var
+
+X = Var("x")
+Y = Var("y")
+
+
+@dataclass
+class WFOMCProblem:
+    """A ∀x∀y matrix with weights: the input of :func:`wfomc`."""
+
+    matrix: Formula
+    weights: dict[str, tuple[float, float]]
+    arities: dict[str, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for atom in self.matrix.atoms():
+            arity = self.arities.setdefault(atom.predicate, atom.arity)
+            if arity != atom.arity:
+                raise ValueError(
+                    f"predicate {atom.predicate} used with two arities"
+                )
+            if atom.arity > 2:
+                raise ValueError("only arity ≤ 2 predicates are supported")
+            for term in atom.args:
+                if term not in (X, Y):
+                    raise ValueError(
+                        f"matrix atoms must use variables x/y, found {atom}"
+                    )
+        for name in self.arities:
+            if name not in self.weights:
+                raise ValueError(f"missing weight pair for predicate {name}")
+
+
+def _evaluate(matrix: Formula, lookup: Mapping[tuple, bool]) -> bool:
+    """Evaluate the matrix given atom values keyed by (pred, arg names)."""
+    if isinstance(matrix, Top):
+        return True
+    if isinstance(matrix, Bottom):
+        return False
+    if isinstance(matrix, Atom):
+        key = (matrix.predicate, tuple(t.name for t in matrix.args))  # type: ignore[union-attr]
+        return lookup[key]
+    if isinstance(matrix, Not):
+        return not _evaluate(matrix.sub, lookup)
+    if isinstance(matrix, And):
+        return all(_evaluate(p, lookup) for p in matrix.parts)
+    if isinstance(matrix, Or):
+        return any(_evaluate(p, lookup) for p in matrix.parts)
+    if isinstance(matrix, (Exists, Forall)):
+        raise ValueError("matrix must be quantifier-free")
+    raise TypeError(f"unknown node {matrix!r}")
+
+
+@dataclass(frozen=True)
+class _Cell:
+    """One 1-type: unary truth values and reflexive binary truth values."""
+
+    unary: tuple[bool, ...]
+    reflexive: tuple[bool, ...]
+    weight: float
+
+
+def wfomc(problem: WFOMCProblem, n: int) -> float:
+    """The symmetric weighted model count over a domain of size *n*."""
+    if n < 0:
+        raise ValueError("domain size must be non-negative")
+    nullary = sorted(p for p, a in problem.arities.items() if a == 0)
+    unary = sorted(p for p, a in problem.arities.items() if a == 1)
+    binary = sorted(p for p, a in problem.arities.items() if a == 2)
+
+    total = 0.0
+    for nullary_bits in itertools.product((False, True), repeat=len(nullary)):
+        nullary_values = dict(zip(nullary, nullary_bits))
+        nullary_weight = 1.0
+        for name, value in nullary_values.items():
+            w_true, w_false = problem.weights[name]
+            nullary_weight *= w_true if value else w_false
+        if nullary_weight == 0.0:
+            continue
+        cells = _build_cells(problem, unary, binary, nullary_values)
+        if not cells:
+            continue
+        interactions = _interaction_matrix(
+            problem, cells, unary, binary, nullary_values
+        )
+        cells, interactions = _merge_cells(cells, interactions)
+        total += nullary_weight * _composition_sum(cells, interactions, n)
+    return total
+
+
+def _build_cells(
+    problem: WFOMCProblem,
+    unary: list[str],
+    binary: list[str],
+    nullary_values: Mapping[str, bool],
+) -> list[_Cell]:
+    """All 1-types consistent with Ψ(x,x), with their weights."""
+    cells = []
+    for ubits in itertools.product((False, True), repeat=len(unary)):
+        for rbits in itertools.product((False, True), repeat=len(binary)):
+            lookup: dict[tuple, bool] = {}
+            for name, value in nullary_values.items():
+                lookup[(name, ())] = value
+            for name, value in zip(unary, ubits):
+                lookup[(name, ("x",))] = value
+                lookup[(name, ("y",))] = value
+            for name, value in zip(binary, rbits):
+                for pattern in (("x", "x"), ("x", "y"), ("y", "x"), ("y", "y")):
+                    lookup[(name, pattern)] = value
+            if not _evaluate(problem.matrix, lookup):
+                continue
+            weight = 1.0
+            for name, value in zip(unary, ubits):
+                w_true, w_false = problem.weights[name]
+                weight *= w_true if value else w_false
+            for name, value in zip(binary, rbits):
+                w_true, w_false = problem.weights[name]
+                weight *= w_true if value else w_false
+            cells.append(_Cell(ubits, rbits, weight))
+    return cells
+
+
+def _interaction_matrix(
+    problem: WFOMCProblem,
+    cells: list[_Cell],
+    unary: list[str],
+    binary: list[str],
+    nullary_values: Mapping[str, bool],
+) -> list[list[float]]:
+    """r(i,j): total weight of the cross binary atoms for a type-(i,j) pair."""
+    count = len(cells)
+    r = [[0.0] * count for _ in range(count)]
+    cross_patterns = list(itertools.product((False, True), repeat=2 * len(binary)))
+    for i, cell_i in enumerate(cells):
+        for j in range(i, count):
+            cell_j = cells[j]
+            value = 0.0
+            for bits in cross_patterns:
+                xy = bits[: len(binary)]
+                yx = bits[len(binary) :]
+                # Ψ(u, v): x is the type-i element, y the type-j element.
+                forward: dict[tuple, bool] = {}
+                backward: dict[tuple, bool] = {}
+                for name, val in nullary_values.items():
+                    forward[(name, ())] = val
+                    backward[(name, ())] = val
+                for k, name in enumerate(unary):
+                    forward[(name, ("x",))] = cell_i.unary[k]
+                    forward[(name, ("y",))] = cell_j.unary[k]
+                    backward[(name, ("x",))] = cell_j.unary[k]
+                    backward[(name, ("y",))] = cell_i.unary[k]
+                for k, name in enumerate(binary):
+                    forward[(name, ("x", "x"))] = cell_i.reflexive[k]
+                    forward[(name, ("y", "y"))] = cell_j.reflexive[k]
+                    forward[(name, ("x", "y"))] = xy[k]
+                    forward[(name, ("y", "x"))] = yx[k]
+                    backward[(name, ("x", "x"))] = cell_j.reflexive[k]
+                    backward[(name, ("y", "y"))] = cell_i.reflexive[k]
+                    backward[(name, ("x", "y"))] = yx[k]
+                    backward[(name, ("y", "x"))] = xy[k]
+                if not _evaluate(problem.matrix, forward):
+                    continue
+                if not _evaluate(problem.matrix, backward):
+                    continue
+                weight = 1.0
+                for k, name in enumerate(binary):
+                    w_true, w_false = problem.weights[name]
+                    weight *= w_true if xy[k] else w_false
+                    weight *= w_true if yx[k] else w_false
+                value += weight
+            r[i][j] = value
+            r[j][i] = value
+    return r
+
+
+def _merge_cells(
+    cells: list[_Cell], r: list[list[float]]
+) -> tuple[list[_Cell], list[list[float]]]:
+    """Merge cells with identical interaction behaviour (weights add)."""
+    groups: dict[tuple, list[int]] = {}
+    for i in range(len(cells)):
+        # Signature: the interaction row with the self-entry pulled out, so
+        # two mergeable cells must also interact with each other and with
+        # themselves identically.
+        row = tuple(
+            r[i][k] for k in range(len(cells))
+        )
+        signature = (r[i][i],) + tuple(sorted(row))
+        groups.setdefault(signature, []).append(i)
+
+    # Verify mergeability precisely and build the merged structures.
+    merged_indices: list[list[int]] = []
+    for indices in groups.values():
+        # split the candidate group into verified-mergeable chunks
+        remaining = list(indices)
+        while remaining:
+            seed = remaining.pop(0)
+            chunk = [seed]
+            still = []
+            for candidate in remaining:
+                ok = (
+                    r[candidate][candidate] == r[seed][seed]
+                    and r[candidate][seed] == r[seed][seed]
+                    and all(
+                        r[candidate][k] == r[seed][k]
+                        for k in range(len(cells))
+                        if k != candidate and k != seed
+                    )
+                )
+                if ok:
+                    chunk.append(candidate)
+                else:
+                    still.append(candidate)
+            remaining = still
+            merged_indices.append(chunk)
+
+    new_cells = []
+    for chunk in merged_indices:
+        weight = sum(cells[i].weight for i in chunk)
+        representative = cells[chunk[0]]
+        new_cells.append(
+            _Cell(representative.unary, representative.reflexive, weight)
+        )
+    new_r = [
+        [r[a[0]][b[0]] for b in merged_indices] for a in merged_indices
+    ]
+    return new_cells, new_r
+
+
+def _compositions(n: int, parts: int) -> Iterator[tuple[int, ...]]:
+    """All ways to write n as an ordered sum of `parts` non-negative ints."""
+    if parts == 1:
+        yield (n,)
+        return
+    for first in range(n + 1):
+        for rest in _compositions(n - first, parts - 1):
+            yield (first,) + rest
+
+
+def _composition_sum(
+    cells: list[_Cell], r: list[list[float]], n: int
+) -> float:
+    """The multinomial sum over cell multiplicities."""
+    count = len(cells)
+    total = 0.0
+    for ks in _compositions(n, count):
+        coefficient = math.factorial(n)
+        for k in ks:
+            coefficient //= math.factorial(k)
+        term = float(coefficient)
+        for i, k in enumerate(ks):
+            if k:
+                term *= cells[i].weight ** k
+                term *= r[i][i] ** (k * (k - 1) // 2)
+        for i in range(count):
+            if not ks[i]:
+                continue
+            for j in range(i + 1, count):
+                if ks[j]:
+                    term *= r[i][j] ** (ks[i] * ks[j])
+        total += term
+    return total

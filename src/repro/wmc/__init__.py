@@ -1,0 +1,51 @@
+"""Weighted model counting engines: brute force, DPLL, Monte Carlo, Karp–Luby."""
+
+from .brute import (
+    brute_force_wmc,
+    brute_force_wmc_exact,
+    model_count,
+    probability_from_weight,
+    weight_from_probability,
+    weighted_model_count,
+)
+from .dpll import (
+    DPLLCounter,
+    DPLLResult,
+    DPLLStatistics,
+    compile_decision_dnnf,
+    dpll_probability,
+)
+from .sampling import (
+    MonteCarloEstimate,
+    hoeffding_samples,
+    monte_carlo_event,
+    monte_carlo_wmc,
+)
+from .karp_luby import (
+    KarpLubyEstimate,
+    clause_probability,
+    karp_luby,
+    karp_luby_samples,
+)
+
+__all__ = [
+    "brute_force_wmc",
+    "brute_force_wmc_exact",
+    "model_count",
+    "probability_from_weight",
+    "weight_from_probability",
+    "weighted_model_count",
+    "DPLLCounter",
+    "DPLLResult",
+    "DPLLStatistics",
+    "compile_decision_dnnf",
+    "dpll_probability",
+    "MonteCarloEstimate",
+    "hoeffding_samples",
+    "monte_carlo_event",
+    "monte_carlo_wmc",
+    "KarpLubyEstimate",
+    "clause_probability",
+    "karp_luby",
+    "karp_luby_samples",
+]

@@ -1,0 +1,100 @@
+"""Brute-force weighted model counting — the reference oracle.
+
+Enumerates all assignments of the formula's variables and sums the product
+weights of the satisfying ones (appendix, Eq. 15). Exponential; used to
+validate every other engine on small inputs. A :mod:`fractions` mode gives
+exact rational arithmetic.
+"""
+
+from __future__ import annotations
+
+import itertools
+from fractions import Fraction
+from typing import Iterable, Mapping
+
+from ..booleans.expr import BExpr, evaluate
+
+
+def brute_force_wmc(expr: BExpr, probabilities: Mapping[int, float]) -> float:
+    """P(expr) by enumerating all assignments of its variables."""
+    variables = sorted(expr.variables())
+    total = 0.0
+    for bits in itertools.product((False, True), repeat=len(variables)):
+        assignment = dict(zip(variables, bits))
+        if evaluate(expr, assignment):
+            weight = 1.0
+            for var, value in assignment.items():
+                p = probabilities[var]
+                weight *= p if value else 1.0 - p
+            total += weight
+    return total
+
+
+def brute_force_wmc_exact(
+    expr: BExpr, probabilities: Mapping[int, Fraction]
+) -> Fraction:
+    """Exact rational version of :func:`brute_force_wmc`."""
+    variables = sorted(expr.variables())
+    total = Fraction(0)
+    for bits in itertools.product((False, True), repeat=len(variables)):
+        assignment = dict(zip(variables, bits))
+        if evaluate(expr, assignment):
+            weight = Fraction(1)
+            for var, value in assignment.items():
+                p = Fraction(probabilities[var])
+                weight *= p if value else 1 - p
+            total += weight
+    return total
+
+
+def model_count(expr: BExpr, variables: Iterable[int] | None = None) -> int:
+    """#F: the number of satisfying assignments over the given universe.
+
+    When *variables* is omitted the universe is the formula's own variable
+    set. This is Valiant's model counting problem (Sec. 7).
+    """
+    universe = sorted(expr.variables() if variables is None else set(variables))
+    count = 0
+    for bits in itertools.product((False, True), repeat=len(universe)):
+        if evaluate(expr, dict(zip(universe, bits))):
+            count += 1
+    return count
+
+
+def weighted_model_count(
+    expr: BExpr, weights: Mapping[int, float]
+) -> tuple[float, float]:
+    """Weight-of-formula and partition function Z (appendix, Eq. 16–17).
+
+    Weights follow the appendix convention: a variable set to 1 contributes
+    ``w_i``, a variable set to 0 contributes 1. Returns ``(weight(F), Z)``
+    with ``Z = Π (1 + w_i)``; the probability of F is ``weight(F) / Z``.
+    """
+    variables = sorted(expr.variables())
+    weight_of_f = 0.0
+    for bits in itertools.product((False, True), repeat=len(variables)):
+        assignment = dict(zip(variables, bits))
+        if evaluate(expr, assignment):
+            weight = 1.0
+            for var, value in assignment.items():
+                if value:
+                    weight *= weights[var]
+            weight_of_f += weight
+    z = 1.0
+    for var in variables:
+        z *= 1.0 + weights[var]
+    return weight_of_f, z
+
+
+def probability_from_weight(weight: float) -> float:
+    """The appendix mapping p = w / (1 + w)."""
+    if weight == float("inf"):
+        return 1.0
+    return weight / (1.0 + weight)
+
+
+def weight_from_probability(probability: float) -> float:
+    """The appendix mapping w = p / (1 - p) ("odds")."""
+    if probability >= 1.0:
+        return float("inf")
+    return probability / (1.0 - probability)

@@ -1,0 +1,206 @@
+"""A DPLL-style exact weighted model counter with caching and components.
+
+Implements exactly the three primitives of Sec. 7:
+
+* rule (11), the Shannon expansion
+  ``p(F) = p(F[X:=0])·(1-p(X)) + p(F[X:=1])·p(X)``;
+* rule (12), independent components
+  ``p(F₁ ∧ F₂) = p(F₁)·p(F₂)`` when the conjuncts share no variables;
+* a cache of previously computed probabilities.
+
+Following Huang and Darwiche, the *trace* of the search is materialized as a
+decision-DNNF in a :class:`repro.kc.circuits.Circuit`: Shannon expansions
+become decision nodes, component splits become independent-∧ nodes, and the
+cache makes the trace a DAG. The size of that circuit is the quantity
+bounded below by Theorem 7.1(ii).
+
+Optionally the counter may also split variable-disjoint *disjunctions*
+(independent-or). That is sound for probabilities but steps outside the
+decision-DNNF language, so it is off by default and never used when a trace
+is requested.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Optional, Sequence
+
+from ..booleans.expr import B_FALSE, B_TRUE, BAnd, BExpr, BOr
+from ..booleans.ops import cofactors, independent_factors, most_frequent_variable
+from ..kc.circuits import FALSE_LEAF, TRUE_LEAF, Circuit
+
+
+@dataclass
+class DPLLStatistics:
+    """Counters describing one run of the counter."""
+
+    calls: int = 0
+    cache_hits: int = 0
+    shannon_expansions: int = 0
+    component_splits: int = 0
+
+
+@dataclass
+class DPLLResult:
+    """Probability plus the search trace and statistics."""
+
+    probability: float
+    statistics: DPLLStatistics
+    circuit: Optional[Circuit] = None
+
+    @property
+    def trace_size(self) -> int:
+        """Node count of the decision-DNNF trace (0 when not recorded)."""
+        return self.circuit.size() if self.circuit is not None else 0
+
+
+@dataclass
+class DPLLCounter:
+    """Configurable DPLL-style counter; see module docstring."""
+
+    use_cache: bool = True
+    use_components: bool = True
+    use_or_components: bool = False
+    variable_order: Optional[Sequence[int]] = None
+    record_trace: bool = False
+
+    _cache: dict[tuple, tuple[float, int]] = field(default_factory=dict, repr=False)
+
+    def run(self, expr: BExpr, probabilities: Mapping[int, float]) -> DPLLResult:
+        """Compute P(expr) under independent tuple probabilities."""
+        if self.record_trace and self.use_or_components:
+            raise ValueError(
+                "or-components fall outside decision-DNNF; disable one option"
+            )
+        self._cache = {}
+        statistics = DPLLStatistics()
+        circuit = Circuit() if self.record_trace else None
+        rank = (
+            {v: i for i, v in enumerate(self.variable_order)}
+            if self.variable_order is not None
+            else None
+        )
+
+        def choose_variable(formula: BExpr) -> int:
+            if rank is not None:
+                candidates = formula.variables()
+                return min(candidates, key=lambda v: rank.get(v, len(rank) + v))
+            return most_frequent_variable(formula)
+
+        def count(formula: BExpr) -> tuple[float, int]:
+            statistics.calls += 1
+            if isinstance(formula, type(B_TRUE)):
+                return 1.0, TRUE_LEAF
+            if isinstance(formula, type(B_FALSE)):
+                return 0.0, FALSE_LEAF
+            key = formula.key()
+            if self.use_cache:
+                cached = self._cache.get(key)
+                if cached is not None:
+                    statistics.cache_hits += 1
+                    return cached
+
+            result: tuple[float, int]
+            factors = (
+                independent_factors(formula)
+                if self.use_components and isinstance(formula, BAnd)
+                else [formula]
+            )
+            if len(factors) > 1:
+                statistics.component_splits += 1
+                probability = 1.0
+                children = []
+                for factor in factors:
+                    p, node = count(factor)
+                    probability *= p
+                    children.append(node)
+                node_id = circuit.conjoin(children) if circuit is not None else TRUE_LEAF
+                result = (probability, node_id)
+            elif (
+                self.use_or_components
+                and isinstance(formula, BOr)
+                and len(independent_factors(formula)) > 1
+            ):
+                statistics.component_splits += 1
+                complement = 1.0
+                for factor in independent_factors(formula):
+                    p, _ = count(factor)
+                    complement *= 1.0 - p
+                result = (1.0 - complement, TRUE_LEAF)
+            else:
+                var = choose_variable(formula)
+                statistics.shannon_expansions += 1
+                low, high = cofactors(formula, var)
+                p_low, node_low = count(low)
+                p_high, node_high = count(high)
+                p = probabilities[var]
+                probability = (1.0 - p) * p_low + p * p_high
+                node_id = (
+                    circuit.decision(var, node_low, node_high)
+                    if circuit is not None
+                    else TRUE_LEAF
+                )
+                result = (probability, node_id)
+
+            if self.use_cache:
+                self._cache[key] = result
+            return result
+
+        probability, root = count(expr)
+        if circuit is not None:
+            circuit.root = root
+        return DPLLResult(probability, statistics, circuit)
+
+
+def dpll_probability(
+    expr: BExpr,
+    probabilities: Mapping[int, float],
+    use_cache: bool = True,
+    use_components: bool = True,
+    variable_order: Optional[Sequence[int]] = None,
+) -> float:
+    """Convenience wrapper returning just the probability."""
+    counter = DPLLCounter(
+        use_cache=use_cache,
+        use_components=use_components,
+        variable_order=variable_order,
+    )
+    return counter.run(expr, probabilities).probability
+
+
+def compile_decision_dnnf(
+    expr: BExpr,
+    probabilities: Optional[Mapping[int, float]] = None,
+    variable_order: Optional[Sequence[int]] = None,
+) -> DPLLResult:
+    """Compile *expr* into a decision-DNNF by recording the DPLL trace.
+
+    Probabilities only steer nothing here (the trace shape depends on the
+    branching heuristic, not the weights); they default to 1/2 so the result
+    also reports the uniform-weight probability.
+    """
+    if probabilities is None:
+        probabilities = {v: 0.5 for v in expr.variables()}
+    counter = DPLLCounter(record_trace=True, variable_order=variable_order)
+    return counter.run(expr, probabilities)
+
+
+def compile_fbdd(
+    expr: BExpr,
+    probabilities: Optional[Mapping[int, float]] = None,
+    variable_order: Optional[Sequence[int]] = None,
+) -> DPLLResult:
+    """Compile *expr* into an FBDD: the trace of DPLL *without* components.
+
+    Per Huang–Darwiche, caching without the component rule yields a pure
+    decision DAG — a Free Binary Decision Diagram. With a fixed
+    ``variable_order`` the trace is an OBDD (possibly larger than the
+    reduced one built by :mod:`repro.kc.obdd`, since the cache keys are
+    formulas, not nodes).
+    """
+    if probabilities is None:
+        probabilities = {v: 0.5 for v in expr.variables()}
+    counter = DPLLCounter(
+        record_trace=True, use_components=False, variable_order=variable_order
+    )
+    return counter.run(expr, probabilities)

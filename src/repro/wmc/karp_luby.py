@@ -1,0 +1,118 @@
+"""The Karp–Luby FPRAS for weighted DNF counting.
+
+UCQ lineages are positive DNFs, and naive Monte Carlo is useless when P(F)
+is tiny (relative error explodes). Karp–Luby samples from the *union space*
+instead: pick a clause with probability proportional to its weight, sample a
+world satisfying it, and count the fraction of samples for which the chosen
+clause is the first satisfied one. The estimate has relative error ε with
+probability 1 − δ after ``⌈ 3·m·ln(2/δ) / ε² ⌉`` samples, where *m* is the
+number of clauses.
+
+This gives the FPRAS the paper's conclusion alludes to for the "other" (hard)
+queries, applicable whenever the lineage is available in DNF.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Mapping, Optional, Sequence
+
+from ..booleans.forms import Clause, literal_sign, literal_var
+
+
+@dataclass(frozen=True)
+class KarpLubyEstimate:
+    """Estimate of P(F) with the number of trials used."""
+
+    estimate: float
+    samples: int
+    epsilon: float
+    delta: float
+
+
+def clause_probability(clause: Clause, probabilities: Mapping[int, float]) -> float:
+    """Probability that a single conjunctive clause is satisfied."""
+    result = 1.0
+    for lit in clause:
+        p = probabilities[literal_var(lit)]
+        result *= p if literal_sign(lit) else 1.0 - p
+    return result
+
+
+def karp_luby_samples(clause_count: int, epsilon: float, delta: float) -> int:
+    """Trial count for an (ε, δ) *relative*-error guarantee."""
+    if not 0 < epsilon or not 0 < delta < 1:
+        raise ValueError("epsilon must be positive, delta in (0, 1)")
+    return math.ceil(3.0 * clause_count * math.log(2.0 / delta) / (epsilon * epsilon))
+
+
+def karp_luby(
+    clauses: Sequence[Clause],
+    probabilities: Mapping[int, float],
+    epsilon: float = 0.1,
+    delta: float = 0.05,
+    rng: Optional[random.Random] = None,
+    samples: Optional[int] = None,
+) -> KarpLubyEstimate:
+    """Karp–Luby estimator for P(⋁ clauses) under independent variables.
+
+    Clauses use the literal encoding of :mod:`repro.booleans.forms`. Clauses
+    with probability 0 are dropped; an empty clause list yields estimate 0.
+    """
+    rng = rng if rng is not None else random.Random()
+    live = [c for c in clauses if clause_probability(c, probabilities) > 0.0]
+    if not live:
+        return KarpLubyEstimate(0.0, 0, epsilon, delta)
+
+    weights = [clause_probability(c, probabilities) for c in live]
+    total_weight = sum(weights)
+    cumulative: list[float] = []
+    acc = 0.0
+    for w in weights:
+        acc += w
+        cumulative.append(acc)
+
+    n = samples if samples is not None else karp_luby_samples(len(live), epsilon, delta)
+    # Pre-index: variables fixed by each clause.
+    fixed: list[dict[int, bool]] = [
+        {literal_var(lit): literal_sign(lit) for lit in clause} for clause in live
+    ]
+    all_vars = sorted({literal_var(lit) for c in live for lit in c})
+
+    hits = 0
+    for _ in range(n):
+        # 1. pick a clause proportionally to its weight
+        r = rng.random() * total_weight
+        index = _bisect(cumulative, r)
+        chosen = fixed[index]
+        # 2. sample a world conditioned on the chosen clause being true
+        assignment = {}
+        for var in all_vars:
+            if var in chosen:
+                assignment[var] = chosen[var]
+            else:
+                assignment[var] = rng.random() < probabilities[var]
+        # 3. success iff the chosen clause is the *first* satisfied clause
+        first = True
+        for j in range(index):
+            if all(assignment[v] == val for v, val in fixed[j].items()):
+                first = False
+                break
+        if first:
+            hits += 1
+
+    estimate = (hits / n) * total_weight if n else 0.0
+    return KarpLubyEstimate(min(estimate, 1.0), n, epsilon, delta)
+
+
+def _bisect(cumulative: Sequence[float], value: float) -> int:
+    lo, hi = 0, len(cumulative) - 1
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if cumulative[mid] < value:
+            lo = mid + 1
+        else:
+            hi = mid
+    return lo

@@ -1,0 +1,21 @@
+"""Workload generators for examples, tests and benchmarks."""
+
+from .generators import (
+    DEFAULT_SCHEMA,
+    chain_join_tid,
+    figure1_database,
+    full_tid,
+    h2_schema,
+    random_tid,
+    symmetric_database,
+)
+
+__all__ = [
+    "DEFAULT_SCHEMA",
+    "chain_join_tid",
+    "figure1_database",
+    "full_tid",
+    "h2_schema",
+    "random_tid",
+    "symmetric_database",
+]

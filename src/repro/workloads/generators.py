@@ -1,0 +1,116 @@
+"""Workload generators used by examples, tests and benchmarks.
+
+Includes the paper's Figure 1 database and the random / scaling families
+behind every experiment in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import Iterable, Optional, Sequence
+
+from ..core.tid import TupleIndependentDatabase
+from ..symmetric.symmetric_db import SymmetricDatabase
+
+DEFAULT_SCHEMA: tuple[tuple[str, int], ...] = (("R", 1), ("S", 2), ("T", 1))
+
+
+def figure1_database(
+    p: Sequence[float] = (0.5, 0.5, 0.5),
+    q: Sequence[float] = (0.5, 0.5, 0.5, 0.5, 0.5, 0.5),
+) -> TupleIndependentDatabase:
+    """The 9-tuple TID of Figure 1(a).
+
+    ``p`` are the probabilities of R(a1), R(a2), R(a3); ``q`` those of the
+    six S-tuples in the paper's order: (a1,b1), (a1,b2), (a2,b3), (a2,b4),
+    (a2,b5), (a4,b6).
+    """
+    if len(p) != 3 or len(q) != 6:
+        raise ValueError("Figure 1 takes 3 R-probabilities and 6 S-probabilities")
+    db = TupleIndependentDatabase()
+    for value, probability in zip(("a1", "a2", "a3"), p):
+        db.add_fact("R", (value,), probability)
+    pairs = [
+        ("a1", "b1"),
+        ("a1", "b2"),
+        ("a2", "b3"),
+        ("a2", "b4"),
+        ("a2", "b5"),
+        ("a4", "b6"),
+    ]
+    for (x, y), probability in zip(pairs, q):
+        db.add_fact("S", (x, y), probability)
+    return db
+
+
+def random_tid(
+    seed: int,
+    domain_size: int,
+    schema: Iterable[tuple[str, int]] = DEFAULT_SCHEMA,
+    density: float = 0.7,
+    probability_range: tuple[float, float] = (0.05, 0.95),
+    domain: Optional[Sequence] = None,
+) -> TupleIndependentDatabase:
+    """A random TID: each possible tuple appears w.p. *density*.
+
+    Probabilities are uniform in *probability_range*; the domain is
+    ``c0..c{n-1}`` unless given explicitly. Deterministic in *seed*.
+    """
+    rng = random.Random(seed)
+    values = tuple(domain) if domain is not None else tuple(
+        f"c{i}" for i in range(domain_size)
+    )
+    db = TupleIndependentDatabase()
+    lo, hi = probability_range
+    for name, arity in schema:
+        db.add_relation(name, tuple(f"a{i}" for i in range(arity)))
+        for row in itertools.product(values, repeat=arity):
+            if rng.random() < density:
+                db.add_fact(name, row, round(rng.uniform(lo, hi), 6))
+    db.explicit_domain = frozenset(values)
+    return db
+
+
+def full_tid(
+    seed: int,
+    domain_size: int,
+    schema: Iterable[tuple[str, int]] = DEFAULT_SCHEMA,
+    probability_range: tuple[float, float] = (0.2, 0.8),
+) -> TupleIndependentDatabase:
+    """A TID with *every* possible tuple present (random probabilities)."""
+    return random_tid(
+        seed,
+        domain_size,
+        schema,
+        density=1.1,
+        probability_range=probability_range,
+    )
+
+
+def symmetric_database(
+    domain_size: int,
+    probabilities: Iterable[tuple[str, int, float]] = (
+        ("R", 1, 0.3),
+        ("S", 2, 0.6),
+        ("T", 1, 0.4),
+    ),
+) -> SymmetricDatabase:
+    """A symmetric database over the H0 vocabulary by default."""
+    db = SymmetricDatabase(domain_size)
+    for name, arity, probability in probabilities:
+        db.add_relation(name, arity, probability)
+    return db
+
+
+def h2_schema() -> tuple[tuple[str, int], ...]:
+    """The vocabulary of the H2 query family (E9)."""
+    return (("R", 1), ("S1", 2), ("S2", 2), ("T", 1))
+
+
+def chain_join_tid(seed: int, domain_size: int, length: int) -> TupleIndependentDatabase:
+    """A chain R0(x0), E1(x0,x1), ..., E_k(x_{k-1}, x_k) workload."""
+    schema: list[tuple[str, int]] = [("R0", 1)]
+    for i in range(1, length + 1):
+        schema.append((f"E{i}", 2))
+    return full_tid(seed, domain_size, schema)

@@ -1,0 +1,47 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.tid import TupleIndependentDatabase
+from repro.workloads.generators import full_tid, random_tid
+
+TOLERANCE = 1e-9
+
+
+def close(a: float, b: float, tolerance: float = TOLERANCE) -> bool:
+    """Absolute closeness check used throughout the suite."""
+    return abs(a - b) <= tolerance
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    return random.Random(20200614)  # PODS'20 started June 14, 2020
+
+
+@pytest.fixture
+def small_db() -> TupleIndependentDatabase:
+    """A tiny fixed TID over R/1, S/2, T/1 with a 2-element domain."""
+    db = TupleIndependentDatabase()
+    db.add_fact("R", ("a",), 0.5)
+    db.add_fact("R", ("b",), 0.25)
+    db.add_fact("S", ("a", "a"), 0.8)
+    db.add_fact("S", ("a", "b"), 0.3)
+    db.add_fact("S", ("b", "b"), 0.9)
+    db.add_fact("T", ("a",), 0.6)
+    db.add_fact("T", ("b",), 0.1)
+    db.explicit_domain = frozenset(("a", "b"))
+    return db
+
+
+@pytest.fixture
+def random_db() -> TupleIndependentDatabase:
+    return random_tid(7, 3)
+
+
+@pytest.fixture
+def dense_db() -> TupleIndependentDatabase:
+    return full_tid(13, 2)

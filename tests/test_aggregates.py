@@ -1,0 +1,80 @@
+"""Unit tests for repro.core.aggregates."""
+
+import pytest
+
+from repro.core.aggregates import (
+    answer_count_distribution,
+    expected_answer_count,
+    top_k_answers,
+)
+from repro.logic.cq import parse_cq
+
+from conftest import close
+
+
+def test_expected_count_single_relation(small_db):
+    # q(x) :- R(x): E[count] = 0.5 + 0.25
+    got = expected_answer_count(parse_cq("R(x)"), ["x"], small_db)
+    assert close(got, 0.75)
+
+
+def test_expected_count_join(small_db):
+    query = parse_cq("R(x), S(x,y)")
+    per_answer = {
+        "a": 0.5 * (1 - (1 - 0.8) * (1 - 0.3)),
+        "b": 0.25 * 0.9,
+    }
+    got = expected_answer_count(query, ["x"], small_db)
+    assert close(got, sum(per_answer.values()))
+
+
+def test_count_distribution_probabilities_sum_to_one(small_db):
+    dist = answer_count_distribution(parse_cq("R(x)"), ["x"], small_db)
+    assert close(sum(dist.probabilities), 1.0)
+
+
+def test_count_distribution_matches_expectation(small_db):
+    query = parse_cq("R(x), S(x,y)")
+    dist = answer_count_distribution(query, ["x"], small_db)
+    expected = expected_answer_count(query, ["x"], small_db)
+    assert close(dist.expectation, expected)
+
+
+def test_count_distribution_exact_values(small_db):
+    # independent answers R(a) (0.5) and R(b) (0.25)
+    dist = answer_count_distribution(parse_cq("R(x)"), ["x"], small_db)
+    assert close(dist.probabilities[0], 0.5 * 0.75)
+    assert close(dist.probabilities[1], 0.5 * 0.75 + 0.5 * 0.25)
+    assert close(dist.probabilities[2], 0.5 * 0.25)
+
+
+def test_count_distribution_variance(small_db):
+    dist = answer_count_distribution(parse_cq("R(x)"), ["x"], small_db)
+    # variance of sum of independent Bernoullis
+    assert close(dist.variance, 0.5 * 0.5 + 0.25 * 0.75)
+
+
+def test_count_distribution_cdf(small_db):
+    dist = answer_count_distribution(parse_cq("R(x)"), ["x"], small_db)
+    assert close(dist.cdf(len(dist.probabilities) - 1), 1.0)
+    assert dist.cdf(0) <= dist.cdf(1)
+
+
+def test_count_distribution_variable_guard(small_db):
+    with pytest.raises(ValueError):
+        answer_count_distribution(
+            parse_cq("S(x,y)"), ["x", "y"], small_db, max_variables=1
+        )
+
+
+def test_top_k_order(small_db):
+    ranked = top_k_answers(parse_cq("R(x), S(x,y)"), ["x"], small_db, k=2)
+    assert len(ranked) == 2
+    assert ranked[0][1] >= ranked[1][1]
+    # the 'a' answer dominates: 0.5·0.86 vs 0.25·0.9
+    assert ranked[0][0] == ("a",)
+
+
+def test_top_k_truncates(small_db):
+    ranked = top_k_answers(parse_cq("R(x)"), ["x"], small_db, k=1)
+    assert len(ranked) == 1

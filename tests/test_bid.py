@@ -1,0 +1,118 @@
+"""Unit tests for repro.bid (block-independent-disjoint databases)."""
+
+import pytest
+
+from repro.bid.model import Block, BlockIndependentDatabase
+from repro.logic.parser import parse
+
+from conftest import close
+
+
+@pytest.fixture
+def bid():
+    """Person(name, city): each person lives in exactly 0 or 1 city."""
+    db = BlockIndependentDatabase()
+    db.add_alternative("Lives", ("ann",), ("paris",), 0.6)
+    db.add_alternative("Lives", ("ann",), ("rome",), 0.3)
+    db.add_alternative("Lives", ("bob",), ("paris",), 0.8)
+    db.add_alternative("Cap", (), ("paris",), 0.9)
+    return db
+
+
+def test_block_disjointness_enforced():
+    block = Block("R", ("k",))
+    block.add(("k", "a"), 0.7)
+    with pytest.raises(ValueError):
+        block.add(("k", "b"), 0.5)
+
+
+def test_block_choices_include_absence(bid):
+    block = bid.blocks[("Lives", ("ann",))]
+    choices = block.choices()
+    assert len(choices) == 3  # paris, rome, absent
+    assert close(sum(p for _, p in choices), 1.0)
+
+
+def test_key_arity_consistency():
+    db = BlockIndependentDatabase()
+    db.add_alternative("R", ("a",), ("x",), 0.5)
+    with pytest.raises(ValueError):
+        db.add_alternative("R", ("a", "b"), ("x",), 0.5)
+
+
+def test_worlds_probabilities_sum_to_one(bid):
+    total = sum(p for _, p in bid.possible_worlds())
+    assert close(total, 1.0)
+
+
+def test_worlds_respect_disjointness(bid):
+    for world, _ in bid.possible_worlds():
+        ann_rows = [f for f in world if f[0] == "Lives" and f[1][0] == "ann"]
+        assert len(ann_rows) <= 1
+
+
+def test_marginal_of_alternative(bid):
+    got = bid.brute_force_probability(parse("Lives('ann','paris')"))
+    assert close(got, 0.6)
+
+
+def test_mutual_exclusion_probability(bid):
+    both = bid.brute_force_probability(
+        parse("Lives('ann','paris') & Lives('ann','rome')")
+    )
+    assert close(both, 0.0)
+
+
+def test_block_level_shannon_matches_oracle(bid):
+    queries = [
+        "exists x. Lives(x, 'paris')",
+        "exists x. exists y. (Lives(x,y) & Cap(y))",
+        "forall x. forall y. (Lives(x,y) -> Cap(y))",
+        "Lives('ann','rome') | Lives('bob','paris')",
+    ]
+    for text in queries:
+        sentence = parse(text)
+        fast = bid.probability(sentence)
+        slow = bid.brute_force_probability(sentence)
+        assert close(fast, slow), text
+
+
+def test_query_ignores_unrelated_blocks(bid):
+    # Cap blocks must not blow up queries that never mention Cap
+    got = bid.probability(parse("exists x. Lives(x, 'rome')"))
+    assert close(got, 0.3)
+
+
+def test_to_tid_requires_singleton_blocks(bid):
+    with pytest.raises(ValueError):
+        bid.to_tid()
+    singleton = BlockIndependentDatabase()
+    singleton.add_alternative("R", ("a",), (), 0.4)
+    tid = singleton.to_tid()
+    assert close(tid.probability_of_fact("R", ("a",)), 0.4)
+
+
+def test_tid_special_case_agrees():
+    """A BID with singleton blocks is exactly a TID."""
+    bid = BlockIndependentDatabase()
+    bid.add_alternative("R", ("a",), (), 0.5)
+    bid.add_alternative("S", ("a", "b"), (), 0.7)
+    sentence = parse("exists x. exists y. (R(x) & S(x,y))")
+    tid = bid.to_tid()
+    assert close(
+        bid.brute_force_probability(sentence),
+        tid.brute_force_probability(sentence),
+    )
+
+
+def test_certain_block():
+    bid = BlockIndependentDatabase()
+    bid.add_alternative("R", ("k",), ("a",), 0.5)
+    bid.add_alternative("R", ("k",), ("b",), 0.5)
+    # probabilities sum to 1: some alternative always present
+    got = bid.probability(parse("exists x. exists y. R(x, y)"))
+    assert close(got, 1.0)
+
+
+def test_tuple_count(bid):
+    assert bid.tuple_count() == 4

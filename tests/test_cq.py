@@ -1,0 +1,185 @@
+"""Unit tests for repro.logic.cq."""
+
+import pytest
+
+from repro.logic.cq import (
+    ConjunctiveQuery,
+    UnionOfConjunctiveQueries,
+    cq_from_formula,
+    homomorphism,
+    parse_cq,
+    parse_ucq,
+    ucq_from_formula,
+)
+from repro.logic.parser import parse
+from repro.logic.terms import Const, Var
+
+
+def test_hierarchical_paper_examples():
+    assert parse_cq("R(x), S(x,y)").is_hierarchical()
+    assert not parse_cq("R(x), S(x,y), T(y)").is_hierarchical()
+
+
+def test_hierarchical_self_join_counterexample():
+    # R(x,y), R(y,z) is hierarchical yet #P-hard (Sec. 4) — the class is
+    # checked elsewhere; here just the syntactic property.
+    assert parse_cq("R(x,y), R(y,z)").is_hierarchical()
+
+
+def test_at_returns_atom_indices():
+    q = parse_cq("R(x), S(x,y), T(y)")
+    assert q.at(Var("x")) == {0, 1}
+    assert q.at(Var("y")) == {1, 2}
+
+
+def test_root_variables():
+    q = parse_cq("R(x), S(x,y)")
+    assert q.root_variables() == {Var("x")}
+    assert parse_cq("S(x,y)").root_variables() == {Var("x"), Var("y")}
+
+
+def test_separator_variable_simple():
+    assert parse_cq("R(x), S(x,y)").separator_variable() == Var("x")
+    assert parse_cq("R(x), S(x,y), T(y)").separator_variable() is None
+
+
+def test_separator_requires_consistent_positions():
+    # x occurs in both S atoms but at different positions.
+    q = parse_cq("S(x,y), S(y,x)")
+    assert q.separator_variable() is None
+
+
+def test_separator_with_repeated_variable_atom():
+    q = parse_cq("S(x,x)")
+    assert q.separator_variable() == Var("x")
+
+
+def test_has_self_joins():
+    assert parse_cq("R(x,y), R(y,z)").has_self_joins()
+    assert not parse_cq("R(x), S(x,y)").has_self_joins()
+
+
+def test_connected_components_by_variables_and_symbols():
+    q = parse_cq("R(x), S(y,z)")
+    assert len(q.connected_components()) == 2
+    # sharing a symbol keeps atoms connected even without shared variables
+    q2 = parse_cq("S(x,y), S(u,v)")
+    assert len(q2.connected_components()) == 1
+    assert len(q2.connected_components(by_symbols=False)) == 2
+
+
+def test_conjoin_renames_apart():
+    q1 = parse_cq("R(x), S(x,y)")
+    q2 = parse_cq("T(x), S(x,y)")
+    joined = q1.conjoin(q2)
+    assert len(joined.atoms) == 4
+    # the second query's variables must have been renamed
+    assert len(joined.variables) == 4
+
+
+def test_homomorphism_found_and_mapping_valid():
+    source = parse_cq("S(x,y)")
+    target = parse_cq("S(u,u)")
+    mapping = homomorphism(source, target)
+    assert mapping is not None
+    assert mapping[Var("x")] == Var("u")
+    assert mapping[Var("y")] == Var("u")
+
+
+def test_homomorphism_respects_constants():
+    source = ConjunctiveQuery((parse_cq("R(x)").atoms[0].substitute({Var("x"): Const("a")}),))
+    target = parse_cq("R(y)")
+    assert homomorphism(source, target) is None
+
+
+def test_homomorphism_none_when_predicate_missing():
+    assert homomorphism(parse_cq("W(x)"), parse_cq("R(x)")) is None
+
+
+def test_implies_boolean_containment():
+    # R(x),S(x,y) is a stronger event than S(u,v)
+    strong = parse_cq("R(x), S(x,y)")
+    weak = parse_cq("S(u,v)")
+    assert strong.implies(weak)
+    assert not weak.implies(strong)
+
+
+def test_equivalent_renamed_queries():
+    q1 = parse_cq("R(x), S(x,y)")
+    q2 = parse_cq("S(u,v), R(u)")
+    assert q1.equivalent(q2)
+
+
+def test_core_collapses_redundant_atoms():
+    q = parse_cq("S(x,y), S(u,v)")
+    core = q.core()
+    assert len(core.atoms) == 1
+
+
+def test_core_keeps_non_redundant():
+    q = parse_cq("R(x), S(x,y), T(y)")
+    assert len(q.core().atoms) == 3
+
+
+def test_core_drops_exact_duplicates():
+    q = parse_cq("R(x), R(x)")
+    assert len(q.core().atoms) == 1
+
+
+def test_canonical_key_equivalence_invariance():
+    q1 = parse_cq("R(x), S(x,y)")
+    q2 = parse_cq("S(a,b), R(a)")
+    assert q1.canonical_key() == q2.canonical_key()
+
+
+def test_canonical_key_distinguishes_different_queries():
+    assert parse_cq("R(x), S(x,y)").canonical_key() != parse_cq(
+        "R(x), S(y,x)"
+    ).canonical_key()
+
+
+def test_ucq_minimize_drops_subsumed():
+    u = parse_ucq("S(x,y) | R(u), S(u,v)")
+    m = u.minimize()
+    assert len(m) == 1
+    assert m.disjuncts[0].predicates == {"S"}
+
+
+def test_ucq_minimize_keeps_one_of_equivalent_pair():
+    u = parse_ucq("R(x), S(x,y) | S(a,b), R(a)")
+    assert len(u.minimize()) == 1
+
+
+def test_ucq_equivalence():
+    u1 = parse_ucq("R(x), S(x,y) | T(u), S(u,v)")
+    u2 = parse_ucq("T(a), S(a,b) | R(c), S(c,d)")
+    assert u1.equivalent(u2)
+
+
+def test_cq_from_formula():
+    q = cq_from_formula(parse("exists x. exists y. (R(x) & S(x,y))"))
+    assert len(q.atoms) == 2
+
+
+def test_cq_from_formula_rejects_disjunction():
+    with pytest.raises(ValueError):
+        cq_from_formula(parse("exists x. (R(x) | T(x))"))
+
+
+def test_ucq_from_formula_distributes_exists():
+    u = ucq_from_formula(parse("exists x. (R(x) | T(x))"))
+    assert len(u) == 2
+
+
+def test_parse_cq_rejects_trailing():
+    with pytest.raises(ValueError):
+        parse_cq("R(x), S(x,y) garbage(")
+
+
+def test_empty_cq_rejected():
+    with pytest.raises(ValueError):
+        ConjunctiveQuery(())
+
+
+def test_predicates_property():
+    assert parse_ucq("R(x),S(x,y) | T(u)").predicates == {"R", "S", "T"}

@@ -1,0 +1,195 @@
+"""Unit tests for repro.datalog (probabilistic datalog / ProbLog route)."""
+
+import itertools
+
+import pytest
+
+from repro.core.tid import TupleIndependentDatabase
+from repro.datalog.program import DatalogProgram, Rule, parse_rule
+from repro.logic.formulas import Atom
+from repro.logic.terms import Var
+
+from conftest import close
+
+
+def graph_db(edges: dict[tuple, float]) -> TupleIndependentDatabase:
+    db = TupleIndependentDatabase()
+    for (u, v), p in edges.items():
+        db.add_fact("edge", (u, v), p)
+    return db
+
+
+def reachability_program(db) -> DatalogProgram:
+    program = DatalogProgram(db)
+    program.add_rule("path(x,y) :- edge(x,y)")
+    program.add_rule("path(x,z) :- path(x,y), edge(y,z)")
+    return program
+
+
+def brute_reachability(edges: dict[tuple, float], source, target) -> float:
+    """Reference: enumerate edge subsets, check reachability."""
+    items = sorted(edges.items(), key=repr)
+    total = 0.0
+    for bits in itertools.product((False, True), repeat=len(items)):
+        weight = 1.0
+        present = set()
+        for include, ((u, v), p) in zip(bits, items):
+            weight *= p if include else 1.0 - p
+            if include:
+                present.add((u, v))
+        # BFS
+        frontier = {source}
+        seen = set()
+        while frontier:
+            node = frontier.pop()
+            if node == target:
+                break
+            seen.add(node)
+            frontier.update(
+                v for (u, v) in present if u == node and v not in seen
+            )
+        else:
+            continue
+        total += weight
+    return total
+
+
+# -- rule parsing -----------------------------------------------------------------
+
+
+def test_parse_rule():
+    rule = parse_rule("path(x,z) :- path(x,y), edge(y,z)")
+    assert rule.head.predicate == "path"
+    assert len(rule.body) == 2
+
+
+def test_parse_rule_rejects_missing_arrow():
+    with pytest.raises(ValueError):
+        parse_rule("path(x,y)")
+
+
+def test_rule_rejects_unbound_head_variable():
+    with pytest.raises(ValueError, match="not bound"):
+        Rule(Atom("p", (Var("x"), Var("w"))), (Atom("edge", (Var("x"), Var("y"))),))
+
+
+def test_rule_rejects_empty_body():
+    with pytest.raises(ValueError):
+        Rule(Atom("p", (Var("x"),)), ())
+
+
+def test_head_cannot_be_edb():
+    db = graph_db({("a", "b"): 0.5})
+    program = DatalogProgram(db)
+    with pytest.raises(ValueError):
+        program.add_rule("edge(x,y) :- edge(y,x)")
+
+
+# -- evaluation -------------------------------------------------------------------
+
+
+def test_single_edge_path():
+    edges = {("a", "b"): 0.7}
+    program = reachability_program(graph_db(edges))
+    assert close(program.fact_probability("path", ("a", "b")), 0.7)
+
+
+def test_two_hop_path():
+    edges = {("a", "b"): 0.7, ("b", "c"): 0.5}
+    program = reachability_program(graph_db(edges))
+    assert close(program.fact_probability("path", ("a", "c")), 0.35)
+
+
+def test_diamond_graph_matches_brute_force():
+    edges = {
+        ("s", "u"): 0.6,
+        ("s", "v"): 0.5,
+        ("u", "t"): 0.7,
+        ("v", "t"): 0.8,
+        ("u", "v"): 0.3,
+    }
+    program = reachability_program(graph_db(edges))
+    got = program.fact_probability("path", ("s", "t"))
+    want = brute_reachability(edges, "s", "t")
+    assert close(got, want)
+
+
+def test_cyclic_graph_terminates_and_is_correct():
+    edges = {
+        ("a", "b"): 0.5,
+        ("b", "a"): 0.5,
+        ("b", "c"): 0.6,
+        ("c", "a"): 0.4,
+    }
+    program = reachability_program(graph_db(edges))
+    evaluation = program.evaluate()
+    assert evaluation.rounds < 20
+    got = evaluation.probability(("path", ("a", "c")))
+    want = brute_reachability(edges, "a", "c")
+    assert close(got, want)
+
+
+def test_self_loop():
+    edges = {("a", "a"): 0.9}
+    program = reachability_program(graph_db(edges))
+    assert close(program.fact_probability("path", ("a", "a")), 0.9)
+
+
+def test_unreachable_pair_has_probability_zero():
+    edges = {("a", "b"): 0.5, ("c", "d"): 0.5}
+    program = reachability_program(graph_db(edges))
+    assert program.fact_probability("path", ("a", "d")) == 0.0
+
+
+def test_query_with_pattern():
+    edges = {("a", "b"): 0.5, ("b", "c"): 0.5, ("a", "c"): 0.2}
+    program = reachability_program(graph_db(edges))
+    from_a = program.query("path", ("a", None))
+    assert set(from_a) == {("a", "b"), ("a", "c")}
+    want_ac = brute_reachability(edges, "a", "c")
+    assert close(from_a[("a", "c")], want_ac)
+
+
+def test_multiple_idb_predicates():
+    db = TupleIndependentDatabase()
+    db.add_fact("parent", ("ann", "bob"), 0.9)
+    db.add_fact("parent", ("bob", "cal"), 0.8)
+    db.add_fact("parent", ("ann", "dee"), 0.7)
+    program = DatalogProgram(db)
+    program.add_rule("ancestor(x,y) :- parent(x,y)")
+    program.add_rule("ancestor(x,z) :- ancestor(x,y), parent(y,z)")
+    program.add_rule("related(x,y) :- ancestor(z,x), ancestor(z,y)")
+    evaluation = program.evaluate()
+    assert close(evaluation.probability(("ancestor", ("ann", "cal"))), 0.72)
+    # related(bob, dee) via common ancestor ann: parent(ann,bob)·parent(ann,dee)
+    assert close(
+        evaluation.probability(("related", ("bob", "dee"))), 0.9 * 0.7
+    )
+
+
+def test_rule_with_constant():
+    edges = {("hub", "a"): 0.5, ("hub", "b"): 0.4, ("a", "b"): 0.9}
+    db = graph_db(edges)
+    program = DatalogProgram(db)
+    program.add_rule("fromhub(y) :- edge('hub', y)")
+    result = program.query("fromhub")
+    assert close(result[("a",)], 0.5)
+    assert close(result[("b",)], 0.4)
+
+
+def test_shared_subgoal_correlations_handled():
+    # path(a,c) via b and direct both use edge(a,b): lineage, not naive
+    # multiplication, must be used.
+    edges = {("a", "b"): 0.5, ("b", "c"): 0.5, ("b", "d"): 0.5, ("d", "c"): 0.5}
+    program = reachability_program(graph_db(edges))
+    got = program.fact_probability("path", ("a", "c"))
+    want = brute_reachability(edges, "a", "c")
+    assert close(got, want)
+
+
+def test_evaluation_reuses_edb_probabilities():
+    edges = {("a", "b"): 0.25}
+    program = reachability_program(graph_db(edges))
+    evaluation = program.evaluate()
+    probabilities = evaluation.pool.probability_map()
+    assert list(probabilities.values()) == [0.25]

@@ -1,0 +1,148 @@
+"""Unit tests for repro.kc.differentiate (posterior marginals)."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.booleans.expr import BExpr, band, bnot, bor, bvar, evaluate
+from repro.kc.differentiate import differentiate
+from repro.lineage.build import lineage_of_cq
+from repro.logic.cq import parse_cq
+from repro.wmc.brute import brute_force_wmc
+from repro.wmc.dpll import compile_decision_dnnf
+from repro.workloads.generators import random_tid
+
+from conftest import close
+
+
+def brute_posterior(expr: BExpr, probabilities, var: int) -> float:
+    """Reference P(X=1 | F) by enumeration."""
+    variables = sorted(expr.variables() | {var})
+    joint = 0.0
+    total = 0.0
+    for bits in itertools.product((False, True), repeat=len(variables)):
+        assignment = dict(zip(variables, bits))
+        weight = 1.0
+        for v, value in assignment.items():
+            p = probabilities[v]
+            weight *= p if value else 1.0 - p
+        if evaluate(expr, assignment):
+            total += weight
+            if assignment[var]:
+                joint += weight
+    return joint / total
+
+
+def check_all_posteriors(expr: BExpr, probabilities):
+    result = compile_decision_dnnf(expr, probabilities)
+    reports = differentiate(result.circuit, probabilities)
+    for var in expr.variables():
+        want = brute_posterior(expr, probabilities, var)
+        assert close(reports[var].posterior, want, 1e-9), (var, expr)
+
+
+def test_single_variable():
+    p = {0: 0.3}
+    result = compile_decision_dnnf(bvar(0), p)
+    reports = differentiate(result.circuit, p)
+    assert close(reports[0].posterior, 1.0)
+    assert close(reports[0].derivative, 1.0)
+
+
+def test_irrelevant_variable_keeps_prior():
+    p = {0: 0.3, 1: 0.6}
+    result = compile_decision_dnnf(bvar(0), p)
+    reports = differentiate(result.circuit, p)
+    assert close(reports[1].posterior, 0.6)
+    assert close(reports[1].derivative, 0.0)
+
+
+def test_conjunction_posteriors():
+    p = {0: 0.3, 1: 0.6}
+    check_all_posteriors(band(bvar(0), bvar(1)), p)
+
+
+def test_disjunction_posteriors():
+    p = {0: 0.3, 1: 0.6}
+    check_all_posteriors(bor(bvar(0), bvar(1)), p)
+
+
+def test_negated_variable():
+    p = {0: 0.3, 1: 0.6}
+    check_all_posteriors(bor(band(bnot(bvar(0)), bvar(1)), bvar(0)), p)
+
+
+def test_partially_tested_variable():
+    # F = x ∨ (y ∧ z): on the x=1 branch, y is never tested.
+    p = {0: 0.5, 1: 0.4, 2: 0.7}
+    check_all_posteriors(bor(bvar(0), band(bvar(1), bvar(2))), p)
+
+
+def test_random_formulas_match_brute_force():
+    rng = random.Random(12)
+    for _ in range(20):
+        variables = [bvar(i) for i in range(5)]
+        probabilities = {i: rng.uniform(0.1, 0.9) for i in range(5)}
+        terms = []
+        for _ in range(rng.randint(1, 3)):
+            literals = [
+                v if rng.random() < 0.6 else bnot(v)
+                for v in rng.sample(variables, rng.randint(1, 3))
+            ]
+            terms.append(band(*literals))
+        expr = bor(*terms)
+        if not expr.variables():
+            continue
+        if brute_force_wmc(expr, probabilities) == 0.0:
+            continue
+        check_all_posteriors(expr, probabilities)
+
+
+def test_derivative_matches_finite_difference():
+    p = {0: 0.5, 1: 0.4, 2: 0.7}
+    expr = bor(bvar(0), band(bvar(1), bvar(2)))
+    result = compile_decision_dnnf(expr, p)
+    reports = differentiate(result.circuit, p)
+    eps = 1e-6
+    for var in (0, 1, 2):
+        up = dict(p)
+        up[var] += eps
+        down = dict(p)
+        down[var] -= eps
+        finite = (
+            brute_force_wmc(expr, up) - brute_force_wmc(expr, down)
+        ) / (2 * eps)
+        assert abs(reports[var].derivative - finite) < 1e-5
+
+
+def test_zero_probability_query_raises():
+    p = {0: 0.5}
+    result = compile_decision_dnnf(band(bvar(0), bnot(bvar(0))), p)
+    with pytest.raises(ZeroDivisionError):
+        differentiate(result.circuit, p)
+
+
+def test_query_lineage_posteriors():
+    """Posterior tuple marginals for a real query lineage."""
+    db = random_tid(6, 3)
+    query = parse_cq("R(x), S(x,y)")
+    lineage = lineage_of_cq(query, db)
+    probabilities = lineage.probabilities()
+    result = compile_decision_dnnf(lineage.expr, probabilities)
+    reports = differentiate(result.circuit, probabilities)
+    for var in lineage.expr.variables():
+        want = brute_posterior(lineage.expr, probabilities, var)
+        assert close(reports[var].posterior, want, 1e-9)
+        # conditioning on a monotone query never lowers a tuple's marginal
+        assert reports[var].posterior >= probabilities[var] - 1e-9
+
+
+def test_influence_ranking_sensible():
+    # In x ∨ (y ∧ z) with a dominant x, x has the largest influence.
+    p = {0: 0.5, 1: 0.1, 2: 0.1}
+    expr = bor(bvar(0), band(bvar(1), bvar(2)))
+    result = compile_decision_dnnf(expr, p)
+    reports = differentiate(result.circuit, p)
+    assert reports[0].influence > reports[1].influence
+    assert reports[0].influence > reports[2].influence

@@ -1,0 +1,77 @@
+"""Tests for FBDD compilation (DPLL trace without components)."""
+
+import random
+
+from repro.booleans.expr import band, bnot, bor, bvar
+from repro.wmc.brute import brute_force_wmc
+from repro.wmc.dpll import compile_decision_dnnf, compile_fbdd
+
+from conftest import close
+
+
+def random_dnf(rng, variables=5, terms=3):
+    leaves = [bvar(i) for i in range(variables)]
+    parts = []
+    for _ in range(terms):
+        literals = [
+            v if rng.random() < 0.6 else bnot(v)
+            for v in rng.sample(leaves, rng.randint(1, 3))
+        ]
+        parts.append(band(*literals))
+    return bor(*parts)
+
+
+def test_fbdd_trace_has_no_and_nodes():
+    rng = random.Random(1)
+    expr = random_dnf(rng)
+    probabilities = {i: 0.5 for i in range(5)}
+    result = compile_fbdd(expr, probabilities)
+    from repro.kc.circuits import AndNode
+
+    for node_id in result.circuit.reachable():
+        assert not isinstance(result.circuit.nodes[node_id], AndNode)
+
+
+def test_fbdd_is_valid_and_correct():
+    rng = random.Random(2)
+    for _ in range(15):
+        expr = random_dnf(rng)
+        probabilities = {i: rng.uniform(0.1, 0.9) for i in range(5)}
+        result = compile_fbdd(expr, probabilities)
+        assert result.circuit.check_fbdd()
+        assert close(result.probability, brute_force_wmc(expr, probabilities))
+        assert close(result.circuit.wmc(probabilities), result.probability)
+
+
+def test_fbdd_with_fixed_order_is_ordered():
+    rng = random.Random(3)
+    expr = random_dnf(rng)
+    probabilities = {i: 0.5 for i in range(5)}
+    order = [4, 3, 2, 1, 0]
+    result = compile_fbdd(expr, probabilities, variable_order=order)
+    # along every path, variables must respect the order
+    rank = {v: i for i, v in enumerate(order)}
+    circuit = result.circuit
+    from repro.kc.circuits import Decision
+
+    def check(node_id, minimum):
+        if node_id in (0, 1):
+            return
+        node = circuit.nodes[node_id]
+        assert isinstance(node, Decision)
+        assert rank[node.var] >= minimum
+        check(node.lo, rank[node.var] + 1)
+        check(node.hi, rank[node.var] + 1)
+
+    check(circuit.root, 0)
+
+
+def test_fbdd_at_least_as_large_as_decision_dnnf():
+    # components only ever shrink the trace
+    rng = random.Random(4)
+    for _ in range(10):
+        expr = random_dnf(rng, variables=6, terms=3)
+        probabilities = {i: 0.5 for i in range(6)}
+        fbdd = compile_fbdd(expr, probabilities)
+        ddnnf = compile_decision_dnnf(expr, probabilities)
+        assert close(fbdd.probability, ddnnf.probability)

@@ -1,0 +1,139 @@
+"""Unit tests for repro.logic.formulas."""
+
+import pytest
+
+from repro.logic.formulas import (
+    FALSE,
+    TRUE,
+    And,
+    Atom,
+    Exists,
+    Forall,
+    Not,
+    Or,
+    exists_many,
+    forall_many,
+    iff,
+    implies,
+)
+from repro.logic.terms import Const, Var
+
+x, y, z = Var("x"), Var("y"), Var("z")
+R = Atom("R", (x,))
+S = Atom("S", (x, y))
+
+
+def test_atom_free_variables():
+    assert S.free_variables() == {x, y}
+    assert Atom("R", (Const("a"),)).free_variables() == frozenset()
+
+
+def test_atom_is_ground():
+    assert Atom("R", (Const("a"),)).is_ground()
+    assert not R.is_ground()
+
+
+def test_and_flattens_and_simplifies():
+    f = And.of((R, And.of((S, TRUE))))
+    assert isinstance(f, And)
+    assert len(f.parts) == 2
+    assert And.of((R, FALSE)) == FALSE
+    assert And.of(()) == TRUE
+    assert And.of((R,)) == R
+
+
+def test_or_flattens_and_simplifies():
+    f = Or.of((R, Or.of((S, FALSE))))
+    assert isinstance(f, Or)
+    assert len(f.parts) == 2
+    assert Or.of((R, TRUE)) == TRUE
+    assert Or.of(()) == FALSE
+    assert Or.of((S,)) == S
+
+
+def test_operator_sugar():
+    assert (R & S) == And.of((R, S))
+    assert (R | S) == Or.of((R, S))
+    assert (~R) == Not(R)
+
+
+def test_quantifier_free_variables():
+    f = Exists(y, S)
+    assert f.free_variables() == {x}
+    assert Forall(x, f).free_variables() == frozenset()
+
+
+def test_is_sentence():
+    assert Forall(x, Exists(y, S)).is_sentence()
+    assert not Exists(y, S).is_sentence()
+
+
+def test_substitute_atom():
+    mapped = S.substitute({x: Const("a")})
+    assert mapped == Atom("S", (Const("a"), y))
+
+
+def test_substitute_skips_bound_variable():
+    f = Exists(y, S)
+    mapped = f.substitute({y: Const("a")})
+    assert mapped == f
+
+
+def test_substitute_capture_avoidance():
+    # Substituting x := y under ∃y must not capture the new y.
+    f = Exists(y, S)  # ∃y S(x, y)
+    mapped = f.substitute({x: y})
+    assert isinstance(mapped, Exists)
+    assert mapped.var != y
+    inner = mapped.sub
+    assert isinstance(inner, Atom)
+    assert inner.args[0] == y  # the substituted free y
+    assert inner.args[1] == mapped.var
+
+
+def test_implies_expands():
+    f = implies(R, S)
+    assert f == Or.of((Not(R), S))
+
+
+def test_iff_expands_to_two_implications():
+    f = iff(R, S)
+    assert isinstance(f, And)
+    assert len(f.parts) == 2
+
+
+def test_exists_many_order():
+    f = exists_many([x, y], S)
+    assert isinstance(f, Exists) and f.var == x
+    assert isinstance(f.sub, Exists) and f.sub.var == y
+
+
+def test_forall_many_order():
+    f = forall_many([x, y], S)
+    assert isinstance(f, Forall) and f.var == x
+
+
+def test_relation_symbols():
+    f = And.of((R, S, Not(Atom("T", (z,)))))
+    assert f.relation_symbols() == {"R", "S", "T"}
+
+
+def test_atoms_in_order_with_duplicates():
+    f = And.of((R, Or.of((R, S))))
+    assert [a.predicate for a in f.atoms()] == ["R", "R", "S"]
+
+
+def test_constants_collects_all():
+    f = And.of((Atom("R", (Const("a"),)), Atom("S", (Const("a"), Const(2)))))
+    assert f.constants() == {Const("a"), Const(2)}
+
+
+def test_structural_equality_and_hash():
+    assert And.of((R, S)) == And.of((R, S))
+    assert hash(And.of((R, S))) == hash(And.of((R, S)))
+
+
+def test_str_round_trippable_shape():
+    f = Forall(x, Or.of((R, Not(S))))
+    text = str(f)
+    assert "forall x." in text and "R(x)" in text and "~S(x, y)" in text

@@ -1,0 +1,96 @@
+"""Unit tests for repro.logic.hypergraph (α- and γ-acyclicity)."""
+
+from repro.logic.cq import parse_cq
+from repro.logic.hypergraph import (
+    Hypergraph,
+    is_alpha_acyclic,
+    is_gamma_acyclic,
+    query_is_alpha_acyclic,
+    query_is_gamma_acyclic,
+)
+
+
+def hg(*edges):
+    return Hypergraph.from_edges(edges)
+
+
+# -- alpha ---------------------------------------------------------------------
+
+
+def test_alpha_single_edge():
+    assert is_alpha_acyclic(hg("xy"))
+
+
+def test_alpha_path():
+    assert is_alpha_acyclic(hg("xy", "yz"))
+
+
+def test_alpha_triangle_of_binary_edges_is_cyclic():
+    assert not is_alpha_acyclic(hg("xy", "yz", "zx"))
+
+
+def test_alpha_triangle_with_covering_edge_is_acyclic():
+    # the classic: adding the big edge makes the triangle α-acyclic
+    assert is_alpha_acyclic(hg("xy", "yz", "zx", "xyz"))
+
+
+def test_alpha_star():
+    assert is_alpha_acyclic(hg("ax", "ay", "az"))
+
+
+def test_alpha_h0_query():
+    assert query_is_alpha_acyclic(parse_cq("R(x), S(x,y), T(y)"))
+
+
+# -- gamma ---------------------------------------------------------------------
+
+
+def test_gamma_single_edge():
+    assert is_gamma_acyclic(hg("xy"))
+
+
+def test_gamma_path_of_two():
+    assert is_gamma_acyclic(hg("xy", "yz"))
+
+
+def test_gamma_h0_query():
+    # H0's CQ is γ-acyclic — the Theorem 8.2(c) example: PTIME on symmetric DBs
+    assert query_is_gamma_acyclic(parse_cq("R(x), S(x,y), T(y)"))
+
+
+def test_gamma_triangle_cyclic():
+    assert not is_gamma_acyclic(hg("xy", "yz", "zx"))
+
+
+def test_gamma_triangle_with_cover_still_cyclic():
+    # α-acyclic but NOT γ-acyclic: γ is strictly stronger
+    assert is_alpha_acyclic(hg("xy", "yz", "zx", "xyz"))
+    assert not is_gamma_acyclic(hg("xy", "yz", "zx", "xyz"))
+
+
+def test_gamma_two_overlapping_edges_sharing_two_vertices():
+    # edges {x,y,z} and {x,y,w}: share the pair {x,y} — still γ-acyclic
+    # (after merging the module {x,y} this reduces away)
+    assert is_gamma_acyclic(hg("xyz", "xyw"))
+
+
+def test_gamma_fagin_counterexample():
+    # {x,y}, {y,z}, {x,y,z}: α-acyclic but not γ-acyclic (Fagin's example of
+    # the strictness: the pair-of-pairs inside a covering triple).
+    graph = hg("xy", "yz", "xyz")
+    assert is_alpha_acyclic(graph)
+    assert not is_gamma_acyclic(graph)
+
+
+def test_gamma_star_query():
+    assert query_is_gamma_acyclic(parse_cq("R(x), S(x,y), U(x), W(x,z)"))
+
+
+def test_hypergraph_of_query_drops_constants():
+    graph = Hypergraph.of_query(parse_cq("R(x), S(x, 'a')"))
+    assert graph.vertices == {v for e in graph.edges for v in e}
+
+
+def test_empty_edges_ignored():
+    graph = Hypergraph.from_edges([""])
+    assert is_gamma_acyclic(graph)

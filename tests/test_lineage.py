@@ -1,0 +1,124 @@
+"""Unit tests for repro.lineage: grounding queries to Boolean formulas."""
+
+import pytest
+
+from repro.booleans.expr import B_FALSE, B_TRUE, evaluate
+from repro.lineage.build import (
+    VariablePool,
+    answer_lineages,
+    lineage_of_cq,
+    lineage_of_sentence,
+    lineage_of_ucq,
+)
+from repro.logic.cq import parse_cq, parse_ucq
+from repro.logic.parser import parse
+from repro.logic.terms import Var
+from repro.wmc.brute import brute_force_wmc
+
+from conftest import close
+
+
+def test_lineage_single_fact(small_db):
+    lin = lineage_of_sentence(parse("R('a')"), small_db)
+    assert lin.variable_count == 1
+    assert lin.fact(0) == ("R", ("a",))
+
+
+def test_lineage_absent_fact_is_false(small_db):
+    lin = lineage_of_sentence(parse("R('zzz')"), small_db)
+    assert lin.expr == B_FALSE
+
+
+def test_lineage_negated_absent_fact_is_true(small_db):
+    lin = lineage_of_sentence(parse("~R('zzz')"), small_db)
+    assert lin.expr == B_TRUE
+
+
+def test_lineage_requires_sentence(small_db):
+    with pytest.raises(ValueError):
+        lineage_of_sentence(parse("R(x)"), small_db)
+
+
+def test_lineage_matches_possible_worlds(small_db):
+    sentence = parse("exists x. exists y. (R(x) & S(x,y))")
+    lin = lineage_of_sentence(sentence, small_db)
+    got = brute_force_wmc(lin.expr, lin.probabilities())
+    want = small_db.brute_force_probability(sentence)
+    assert close(got, want)
+
+
+def test_lineage_forall_sentence(small_db):
+    sentence = parse("forall x. forall y. (~S(x,y) | R(x))")
+    lin = lineage_of_sentence(sentence, small_db)
+    got = brute_force_wmc(lin.expr, lin.probabilities())
+    want = small_db.brute_force_probability(sentence)
+    assert close(got, want)
+
+
+def test_cq_lineage_equals_sentence_lineage(small_db):
+    cq = parse_cq("R(x), S(x,y)")
+    lin_cq = lineage_of_cq(cq, small_db)
+    lin_fo = lineage_of_sentence(cq.to_formula(), small_db)
+    p_cq = brute_force_wmc(lin_cq.expr, lin_cq.probabilities())
+    p_fo = brute_force_wmc(lin_fo.expr, lin_fo.probabilities())
+    assert close(p_cq, p_fo)
+
+
+def test_cq_lineage_with_constants(small_db):
+    cq = parse_cq("S('a', y)")
+    lin = lineage_of_cq(cq, small_db)
+    facts = {lin.fact(i) for i in range(lin.variable_count)}
+    assert facts == {("S", ("a", "a")), ("S", ("a", "b"))}
+
+
+def test_cq_lineage_repeated_variable(small_db):
+    cq = parse_cq("S(x, x)")
+    lin = lineage_of_cq(cq, small_db)
+    facts = {lin.fact(i) for i in range(lin.variable_count)}
+    assert facts == {("S", ("a", "a")), ("S", ("b", "b"))}
+
+
+def test_ucq_lineage(small_db):
+    u = parse_ucq("R(x), S(x,y) | T(u), S(u,v)")
+    lin = lineage_of_ucq(u, small_db)
+    got = brute_force_wmc(lin.expr, lin.probabilities())
+    want = small_db.brute_force_probability(
+        parse(
+            "(exists x. exists y. (R(x) & S(x,y))) | "
+            "(exists u. exists v. (T(u) & S(u,v)))"
+        )
+    )
+    assert close(got, want)
+
+
+def test_shared_pool_across_builders(small_db):
+    pool = VariablePool()
+    lin1 = lineage_of_cq(parse_cq("R(x), S(x,y)"), small_db, pool)
+    lin2 = lineage_of_cq(parse_cq("T(u), S(u,v)"), small_db, pool)
+    shared = lin1.expr.variables() & lin2.expr.variables()
+    assert shared  # the S tuples are shared variables
+
+
+def test_answer_lineages(small_db):
+    cq = parse_cq("R(x), S(x,y)")
+    answers, pool = answer_lineages(cq, (Var("x"),), small_db)
+    assert set(answers) == {("a",), ("b",)}
+    probabilities = pool.probability_map()
+    p_a = brute_force_wmc(answers[("a",)], probabilities)
+    # answer 'a': R(a) ∧ (S(a,a) ∨ S(a,b))
+    want = 0.5 * (1 - (1 - 0.8) * (1 - 0.3))
+    assert close(p_a, want)
+
+
+def test_answer_lineages_empty_when_no_match(small_db):
+    cq = parse_cq("R(x), S(x, x), T(x)")
+    answers, _ = answer_lineages(cq, (Var("x"),), small_db)
+    # only x=a and x=b have S(x,x); both have R and T, so both answer
+    assert set(answers) == {("a",), ("b",)}
+
+
+def test_probabilities_map_alignment(small_db):
+    lin = lineage_of_cq(parse_cq("R(x)"), small_db)
+    probabilities = lin.probabilities()
+    for index, fact in enumerate(lin.pool.fact_of_var):
+        assert probabilities[index] == small_db.probability_of_fact(*fact)

@@ -1,0 +1,252 @@
+"""Unit tests for repro.mln: MLN semantics, Prop. 3.1, Boolean factors."""
+
+import pytest
+
+from repro.booleans.expr import band, bnot, bor, bvar
+from repro.logic.parser import parse
+from repro.mln.markov_network import (
+    BooleanMarkovNetwork,
+    Factor,
+    conditional_probability as bool_conditional,
+    encode_factor_iff,
+    encode_factor_or,
+)
+from repro.mln.mln import MarkovLogicNetwork, SoftConstraint
+from repro.mln.translate import (
+    Encoding,
+    conditional_probability,
+    mln_query_probability,
+    mln_query_probability_symmetric,
+    mln_to_tid,
+)
+
+from conftest import close
+
+
+@pytest.fixture
+def manager_mln():
+    """The paper's Sec. 3 example: (3.9, Manager(m,e) ⇒ HighComp(m))."""
+    delta = parse("Manager(m,e) -> HighComp(m)")
+    return MarkovLogicNetwork([SoftConstraint(3.9, delta)], domain=("a", "b"))
+
+
+def test_soft_constraint_rejects_negative_weight():
+    with pytest.raises(ValueError):
+        SoftConstraint(-1.0, parse("R(x)"))
+
+
+def test_groundings_count(manager_mln):
+    factors = manager_mln.ground()
+    assert len(factors) == 4  # 2 × 2 substitutions of (m, e)
+    assert all(w == 3.9 for w, _ in factors)
+
+
+def test_possible_tuples(manager_mln):
+    tuples = manager_mln.possible_tuples()
+    assert len(tuples) == 4 + 2  # Manager/2 over 2² plus HighComp/1 over 2
+
+
+def test_weight_of_world_example(manager_mln):
+    # Empty world satisfies all 4 groundings vacuously: weight 3.9⁴.
+    assert close(manager_mln.weight_of_world(frozenset()), 3.9 ** 4)
+    # A world violating exactly one grounding: Manager(a,b) without HighComp(a).
+    world = frozenset({("Manager", ("a", "b"))})
+    assert close(manager_mln.weight_of_world(world), 3.9 ** 3)
+
+
+def test_partition_function_positive(manager_mln):
+    z = manager_mln.partition_function()
+    assert z > 0
+
+
+def test_probability_monotone_in_evidence(manager_mln):
+    # Given the constraint, seeing a manager should raise P(HighComp).
+    base = manager_mln.probability(parse("HighComp('a')"))
+    with_manager = manager_mln.probability(
+        parse("Manager('a','b') & HighComp('a')")
+    ) / manager_mln.probability(parse("Manager('a','b')"))
+    assert with_manager > base
+
+
+def test_hard_constraint_zeroes_violating_worlds():
+    mln = MarkovLogicNetwork(
+        [SoftConstraint(float("inf"), parse("R(x)"))], domain=("a",)
+    )
+    assert close(mln.probability(parse("R('a')")), 1.0)
+
+
+def test_mln_to_tid_structure(manager_mln):
+    encoded = mln_to_tid(manager_mln, Encoding.OR)
+    db = encoded.database
+    assert db.probability_of_fact("Manager", ("a", "b")) == 0.5
+    assert db.probability_of_fact("HighComp", ("a",)) == 0.5
+    # or-encoding: auxiliary probability 1/w
+    assert close(db.probability_of_fact("Aux0", ("a", "b")), 1 / 3.9)
+    assert encoded.database.is_symmetric()
+
+
+def test_mln_to_tid_iff_probability(manager_mln):
+    encoded = mln_to_tid(manager_mln, Encoding.IFF)
+    assert close(
+        encoded.database.probability_of_fact("Aux0", ("a", "b")), 3.9 / 4.9
+    )
+
+
+def test_or_encoding_needs_weight_above_one():
+    mln = MarkovLogicNetwork([SoftConstraint(0.5, parse("R(x)"))], domain=("a",))
+    with pytest.raises(ValueError):
+        mln_to_tid(mln, Encoding.OR)
+    # but the iff encoding handles w < 1
+    assert mln_to_tid(mln, Encoding.IFF)
+
+
+@pytest.mark.parametrize("encoding", [Encoding.OR, Encoding.IFF])
+@pytest.mark.parametrize(
+    "query",
+    [
+        "exists m. HighComp(m)",
+        "Manager('a','b') & HighComp('a')",
+        "forall m. forall e. (Manager(m,e) -> HighComp(m))",
+    ],
+)
+def test_proposition_31(manager_mln, encoding, query):
+    """p_MLN(Q) = p_D(Q | Γ) for both encodings (Prop. 3.1)."""
+    q = parse(query)
+    direct = manager_mln.probability(q)
+    via_tid = mln_query_probability(manager_mln, q, encoding)
+    assert close(direct, via_tid)
+
+
+def test_conditional_probability_methods_agree(manager_mln):
+    encoded = mln_to_tid(manager_mln, Encoding.IFF)
+    q = parse("exists m. HighComp(m)")
+    dpll = conditional_probability(encoded.database, q, encoded.constraint, "dpll")
+    brute = conditional_probability(encoded.database, q, encoded.constraint, "brute")
+    assert close(dpll, brute)
+
+
+def test_conditional_probability_unknown_method(manager_mln):
+    encoded = mln_to_tid(manager_mln, Encoding.IFF)
+    with pytest.raises(ValueError):
+        conditional_probability(
+            encoded.database, parse("exists m. HighComp(m)"), encoded.constraint, "nope"
+        )
+
+
+def test_multi_constraint_mln():
+    mln = MarkovLogicNetwork(
+        [
+            SoftConstraint(2.0, parse("R(x) -> U(x)")),
+            SoftConstraint(3.0, parse("U(x)")),
+        ],
+        domain=("a", "b"),
+    )
+    q = parse("exists x. U(x)")
+    direct = mln.probability(q)
+    via = mln_query_probability(mln, q, Encoding.IFF)
+    assert close(direct, via)
+
+
+# -- lifted MLN inference via symmetric WFOMC (SlimShot route) ------------------------
+
+
+@pytest.mark.parametrize("encoding", [Encoding.OR, Encoding.IFF])
+@pytest.mark.parametrize(
+    "query",
+    [
+        "exists m. HighComp(m)",
+        "forall m. forall e. (Manager(m,e) -> HighComp(m))",
+        "forall m. exists e. Manager(m,e)",
+    ],
+)
+def test_symmetric_mln_inference_matches_direct(manager_mln, encoding, query):
+    q = parse(query)
+    direct = manager_mln.probability(q)
+    lifted = mln_query_probability_symmetric(manager_mln, q, encoding)
+    assert close(direct, lifted)
+
+
+def test_symmetric_mln_inference_scales_beyond_enumeration():
+    mln = MarkovLogicNetwork(
+        [SoftConstraint(3.9, parse("Manager(m,e) -> HighComp(m)"))],
+        domain=tuple(f"p{i}" for i in range(6)),
+    )
+    # direct enumeration would need 2^(36+6+36) worlds; this must be fast
+    p = mln_query_probability_symmetric(
+        mln, parse("forall m. forall e. (Manager(m,e) -> HighComp(m))")
+    )
+    assert 0.0 <= p <= 1.0
+
+
+def test_symmetric_mln_rejects_fo3():
+    from repro.symmetric.scott import NotFO2Error
+
+    mln = MarkovLogicNetwork(
+        [SoftConstraint(2.0, parse("R(x) -> U(x)"))], domain=("a", "b")
+    )
+    with pytest.raises(NotFO2Error):
+        mln_query_probability_symmetric(
+            mln, parse("exists x. exists y. exists z. (S0(x,y) & S0(y,z))")
+        )
+
+
+# -- Boolean Markov networks (appendix) ----------------------------------------------
+
+
+def test_fig3_weight_table():
+    x1, x2, x3 = bvar(1), bvar(2), bvar(3)
+    f = band(bor(x1, x2), bor(x1, x3), bor(x2, x3))
+    w = {1: 2.0, 2: 3.0, 3: 4.0}
+    network = BooleanMarkovNetwork(dict(w))
+    assert close(
+        network.weight_of_formula(f),
+        w[2] * w[3] + w[1] * w[3] + w[1] * w[2] + w[1] * w[2] * w[3],
+    )
+
+
+def test_fig3_with_factor_weight_table():
+    # adding the factor (w4, X1 ⇒ X2) reweights per the last Fig. 3 column
+    x1, x2, x3 = bvar(1), bvar(2), bvar(3)
+    f = band(bor(x1, x2), bor(x1, x3), bor(x2, x3))
+    w = {1: 2.0, 2: 3.0, 3: 4.0}
+    w4 = 1.7
+    network = BooleanMarkovNetwork(dict(w), [Factor(w4, bor(bnot(x1), x2))])
+    expected = (
+        w[2] * w[3] * w4
+        + w[1] * w[3]
+        + w[1] * w[2] * w4
+        + w[1] * w[2] * w[3] * w4
+    )
+    assert close(network.weight_of_formula(f), expected)
+
+
+@pytest.mark.parametrize("w4", [0.3, 0.6, 1.5, 3.9])
+def test_factor_encodings_preserve_conditionals(w4):
+    x1, x2, x3 = bvar(1), bvar(2), bvar(3)
+    event = band(bor(x1, x2), bor(x2, x3))
+    network = BooleanMarkovNetwork(
+        {1: 0.9, 2: 1.4, 3: 2.2}, [Factor(w4, bor(bnot(x1), x2))]
+    )
+    want = network.probability(event)
+    independent_iff, gamma_iff = encode_factor_iff(network, 0, 9)
+    independent_or, gamma_or = encode_factor_or(network, 0, 9)
+    assert close(bool_conditional(independent_iff, event, gamma_iff), want)
+    assert close(bool_conditional(independent_or, event, gamma_or), want)
+
+
+def test_or_encoding_negative_weight_below_one():
+    # w4 < 1 ⇒ auxiliary weight negative: a non-standard probability, yet
+    # all conditionals stay in [0, 1] (appendix closing remark).
+    network = BooleanMarkovNetwork(
+        {1: 1.0, 2: 1.0}, [Factor(0.4, bor(bvar(1), bvar(2)))]
+    )
+    independent, gamma = encode_factor_or(network, 0, 5)
+    assert independent.variable_weights[5] < 0
+    p = bool_conditional(independent, bvar(1), gamma)
+    assert 0.0 <= p <= 1.0
+
+
+def test_or_encoding_rejects_weight_one():
+    network = BooleanMarkovNetwork({1: 1.0}, [Factor(1.0, bvar(1))])
+    with pytest.raises(ValueError):
+        encode_factor_or(network, 0, 5)

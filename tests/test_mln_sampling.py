@@ -1,0 +1,89 @@
+"""Unit tests for repro.mln.sampling."""
+
+import random
+
+import pytest
+
+from repro.logic.parser import parse
+from repro.mln.mln import MarkovLogicNetwork, SoftConstraint
+from repro.mln.sampling import (
+    importance_sample_mln,
+    rejection_sample_conditional,
+    required_samples_for_conditional,
+)
+from repro.mln.translate import Encoding, conditional_probability, mln_to_tid
+
+
+@pytest.fixture
+def manager_mln():
+    return MarkovLogicNetwork(
+        [SoftConstraint(3.9, parse("Manager(m,e) -> HighComp(m)"))],
+        domain=("a", "b"),
+    )
+
+
+def test_rejection_sampling_converges(manager_mln):
+    encoded = mln_to_tid(manager_mln, Encoding.IFF)
+    query = parse("exists m. HighComp(m)")
+    exact = conditional_probability(encoded.database, query, encoded.constraint)
+    estimate = rejection_sample_conditional(
+        encoded.database,
+        query,
+        encoded.constraint,
+        samples=8000,
+        rng=random.Random(3),
+    )
+    assert abs(estimate.estimate - exact) < 0.05
+    assert 0 < estimate.acceptance_rate <= 1.0
+
+
+def test_rejection_sampling_zero_acceptance():
+    from repro.core.tid import TupleIndependentDatabase
+
+    db = TupleIndependentDatabase()
+    db.add_fact("R", ("a",), 1.0)
+    estimate = rejection_sample_conditional(
+        db,
+        parse("R('a')"),
+        parse("~R('a')"),  # impossible constraint
+        samples=50,
+        rng=random.Random(1),
+    )
+    assert estimate.accepted == 0
+    assert estimate.estimate != estimate.estimate  # NaN
+
+
+def test_importance_sampling_converges(manager_mln):
+    query = parse("exists m. HighComp(m)")
+    exact = manager_mln.probability(query)
+    estimate = importance_sample_mln(
+        manager_mln, query, samples=6000, rng=random.Random(5)
+    )
+    assert abs(estimate.estimate - exact) < 0.05
+    assert estimate.effective_samples > 100
+
+
+def test_required_samples_scaling():
+    base = required_samples_for_conditional(1.0, 0.05, 0.05)
+    rare = required_samples_for_conditional(0.1, 0.05, 0.05)
+    assert rare == pytest.approx(base * 10, rel=0.01)
+    with pytest.raises(ValueError):
+        required_samples_for_conditional(0.0, 0.05, 0.05)
+
+
+def test_two_estimators_agree(manager_mln):
+    query = parse("Manager('a','b') & HighComp('a')")
+    direct = manager_mln.probability(query)
+    encoded = mln_to_tid(manager_mln, Encoding.IFF)
+    rejection = rejection_sample_conditional(
+        encoded.database,
+        query,
+        encoded.constraint,
+        samples=12000,
+        rng=random.Random(9),
+    )
+    importance = importance_sample_mln(
+        manager_mln, query, samples=8000, rng=random.Random(9)
+    )
+    assert abs(rejection.estimate - direct) < 0.05
+    assert abs(importance.estimate - direct) < 0.05

@@ -1,0 +1,100 @@
+"""Unit tests for repro.kc.mpe (most probable explanation)."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.booleans.expr import band, bnot, bor, bvar, evaluate
+from repro.kc.mpe import most_probable_model
+from repro.lineage.build import lineage_of_cq
+from repro.logic.cq import parse_cq
+from repro.wmc.dpll import compile_decision_dnnf
+from repro.workloads.generators import random_tid
+
+from conftest import close
+
+
+def brute_mpe(expr, probabilities):
+    variables = sorted(set(probabilities))
+    best = None
+    for bits in itertools.product((False, True), repeat=len(variables)):
+        assignment = dict(zip(variables, bits))
+        if not evaluate(expr, assignment):
+            continue
+        weight = 1.0
+        for var, value in assignment.items():
+            p = probabilities[var]
+            weight *= p if value else 1.0 - p
+        if best is None or weight > best[0]:
+            best = (weight, assignment)
+    return best
+
+
+def check(expr, probabilities):
+    compiled = compile_decision_dnnf(expr, probabilities)
+    explanation = most_probable_model(compiled.circuit, probabilities)
+    want_weight, _ = brute_mpe(expr, probabilities)
+    assert close(explanation.probability, want_weight)
+    assert evaluate(expr, explanation.assignment)
+
+
+def test_single_variable():
+    check(bvar(0), {0: 0.3})
+
+
+def test_forced_variable_against_prior():
+    # query forces x true even though its prior prefers false
+    probabilities = {0: 0.1, 1: 0.9}
+    compiled = compile_decision_dnnf(bvar(0), probabilities)
+    explanation = most_probable_model(compiled.circuit, probabilities)
+    assert explanation.assignment[0] is True
+    assert explanation.assignment[1] is True  # free variable takes its mode
+
+
+def test_conjunction_and_disjunction():
+    probabilities = {0: 0.2, 1: 0.7, 2: 0.5}
+    check(band(bvar(0), bvar(1)), probabilities)
+    check(bor(bvar(0), bvar(1)), probabilities)
+
+
+def test_negations():
+    probabilities = {0: 0.8, 1: 0.6}
+    check(band(bnot(bvar(0)), bvar(1)), probabilities)
+
+
+def test_unsatisfiable_raises():
+    probabilities = {0: 0.5}
+    compiled = compile_decision_dnnf(band(bvar(0), bnot(bvar(0))), probabilities)
+    with pytest.raises(ValueError):
+        most_probable_model(compiled.circuit, probabilities)
+
+
+def test_random_formulas():
+    rng = random.Random(77)
+    for _ in range(20):
+        leaves = [bvar(i) for i in range(5)]
+        probabilities = {i: rng.uniform(0.05, 0.95) for i in range(5)}
+        terms = []
+        for _ in range(rng.randint(1, 3)):
+            literals = [
+                v if rng.random() < 0.6 else bnot(v)
+                for v in rng.sample(leaves, rng.randint(1, 3))
+            ]
+            terms.append(band(*literals))
+        expr = bor(*terms)
+        if brute_mpe(expr, probabilities) is None:
+            continue
+        check(expr, probabilities)
+
+
+def test_query_lineage_mpe_is_a_model_of_the_query():
+    db = random_tid(14, 3)
+    query = parse_cq("R(x), S(x,y)")
+    lineage = lineage_of_cq(query, db)
+    probabilities = lineage.probabilities()
+    compiled = compile_decision_dnnf(lineage.expr, probabilities)
+    explanation = most_probable_model(compiled.circuit, probabilities)
+    assert evaluate(lineage.expr, explanation.assignment)
+    # total assignment over every lineage variable
+    assert set(explanation.assignment) == set(probabilities)

@@ -1,0 +1,116 @@
+"""Unit tests for repro.openworld (open-world probabilistic databases)."""
+
+import pytest
+
+from repro.core.tid import TupleIndependentDatabase
+from repro.logic.cq import parse_cq
+from repro.logic.parser import parse
+from repro.openworld.owdb import OpenWorldDatabase, ProbabilityInterval
+
+from conftest import close
+
+
+@pytest.fixture
+def owdb():
+    tid = TupleIndependentDatabase()
+    tid.add_fact("R", ("a",), 0.5)
+    tid.add_fact("S", ("a", "b"), 0.7)
+    tid.explicit_domain = frozenset(("a", "b"))
+    return OpenWorldDatabase(tid, threshold=0.2)
+
+
+def test_interval_validation():
+    with pytest.raises(ValueError):
+        ProbabilityInterval(0.8, 0.2)
+    interval = ProbabilityInterval(0.2, 0.8)
+    assert 0.5 in interval
+    assert 0.9 not in interval
+    assert close(interval.width, 0.6)
+
+
+def test_threshold_validation():
+    with pytest.raises(ValueError):
+        OpenWorldDatabase(TupleIndependentDatabase(), threshold=1.5)
+
+
+def test_schema_inferred(owdb):
+    assert owdb.schema == {"R": 1, "S": 2}
+
+
+def test_unknown_tuple_count(owdb):
+    # domain size 2: R misses 1 tuple, S misses 3
+    assert owdb.unknown_tuple_count() == 1 + 3
+
+
+def test_completion_fills_unlisted(owdb):
+    completed = owdb.completion()
+    assert close(completed.probability_of_fact("R", ("b",)), 0.2)
+    assert close(completed.probability_of_fact("S", ("b", "a")), 0.2)
+    # listed tuples keep their probability
+    assert close(completed.probability_of_fact("R", ("a",)), 0.5)
+
+
+def test_completion_partial(owdb):
+    completed = owdb.completion(["R"])
+    assert close(completed.probability_of_fact("R", ("b",)), 0.2)
+    assert completed.probability_of_fact("S", ("b", "a")) == 0.0
+
+
+def test_monotone_interval_brackets_truth(owdb):
+    query = parse_cq("R(x), S(x,y)")
+    interval = owdb.probability(query)
+    closed_world = owdb.tid.brute_force_probability(query.to_formula())
+    completed_world = owdb.completion().brute_force_probability(
+        query.to_formula()
+    )
+    assert close(interval.lower, closed_world)
+    assert close(interval.upper, completed_world)
+    assert interval.lower <= interval.upper
+
+
+def test_interval_tightens_with_threshold():
+    tid = TupleIndependentDatabase()
+    tid.add_fact("R", ("a",), 0.5)
+    tid.add_fact("S", ("a", "b"), 0.7)
+    tid.explicit_domain = frozenset(("a", "b"))
+    wide = OpenWorldDatabase(tid, threshold=0.5).probability(parse_cq("R(x), S(x,y)"))
+    narrow = OpenWorldDatabase(tid, threshold=0.05).probability(
+        parse_cq("R(x), S(x,y)")
+    )
+    assert narrow.width < wide.width
+
+
+def test_zero_threshold_collapses_to_closed_world(owdb):
+    owdb_zero = OpenWorldDatabase(owdb.tid, threshold=0.0)
+    interval = owdb_zero.probability(parse_cq("R(x), S(x,y)"))
+    assert close(interval.width, 0.0)
+
+
+def test_unate_sentence_interval(owdb):
+    sentence = parse("forall x. forall y. (S(x,y) -> R(x))")
+    interval = owdb.probability(sentence)
+    truth_closed = owdb.tid.brute_force_probability(sentence)
+    assert truth_closed in interval
+
+
+def test_non_unate_rejected(owdb):
+    owdb.tid.add_fact("T", ("a",), 0.5)
+    sentence = parse("forall x. ((R(x) -> T(x)) & (T(x) -> R(x)))")
+    with pytest.raises(ValueError):
+        owdb.probability(sentence)
+
+
+def test_negative_polarity_bounds():
+    tid = TupleIndependentDatabase()
+    tid.add_fact("R", ("a",), 0.5)
+    tid.add_fact("S", ("a", "a"), 0.7)
+    tid.explicit_domain = frozenset(("a", "b"))
+    owdb = OpenWorldDatabase(tid, threshold=0.3)
+    # S occurs negated: the lower bound must complete S (more S ⇒ lower p)
+    sentence = parse("forall x. forall y. (S(x,y) -> R(x))")
+    interval = owdb.probability(sentence)
+    closed = tid.brute_force_probability(sentence)
+    completed_s = owdb.completion(["S"]).brute_force_probability(sentence)
+    completed_r = owdb.completion(["R"]).brute_force_probability(sentence)
+    assert close(interval.lower, min(completed_s, completed_r, closed, interval.lower))
+    assert interval.lower <= closed <= interval.upper

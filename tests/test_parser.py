@@ -1,0 +1,112 @@
+"""Unit tests for repro.logic.parser."""
+
+import pytest
+
+from repro.logic.formulas import And, Atom, Exists, Forall, Not, Or
+from repro.logic.parser import ParseError, parse, parse_sentence
+from repro.logic.terms import Const, Var
+
+
+def test_parse_atom():
+    f = parse("R(x)")
+    assert f == Atom("R", (Var("x"),))
+
+
+def test_parse_constants_quoted_and_numeric():
+    f = parse("S('a1', 3)")
+    assert f == Atom("S", (Const("a1"), Const(3)))
+
+
+def test_parse_double_quoted_constant():
+    f = parse('R("hello world")')
+    assert f == Atom("R", (Const("hello world"),))
+
+
+def test_parse_conjunction_precedence():
+    f = parse("R(x) & S(x,y) | T(y)")
+    assert isinstance(f, Or)
+    assert isinstance(f.parts[0], And)
+
+
+def test_parse_negation_binds_tightest():
+    f = parse("~R(x) & S(x,y)")
+    assert isinstance(f, And)
+    assert isinstance(f.parts[0], Not)
+
+
+def test_parse_implication_expands():
+    f = parse("R(x) -> S(x,y)")
+    assert isinstance(f, Or)
+    assert isinstance(f.parts[0], Not)
+
+
+def test_parse_implication_right_associative():
+    f = parse("R(x) -> S(x,y) -> T(y)")
+    # a -> (b -> c) = ~a | (~b | c) which flattens to a 3-way Or
+    assert isinstance(f, Or)
+    assert len(f.parts) == 3
+
+
+def test_parse_iff():
+    f = parse("R(x) <-> T(x)")
+    assert isinstance(f, And)
+
+
+def test_parse_quantifiers():
+    f = parse("forall x. exists y. S(x,y)")
+    assert isinstance(f, Forall)
+    assert isinstance(f.sub, Exists)
+
+
+def test_parse_multi_variable_quantifier():
+    f = parse("forall x, y. S(x,y)")
+    assert isinstance(f, Forall)
+    assert isinstance(f.sub, Forall)
+
+
+def test_parse_h0():
+    f = parse("forall x. forall y. (R(x) | S(x,y) | T(y))")
+    assert f.is_sentence()
+    assert f.relation_symbols() == {"R", "S", "T"}
+
+
+def test_parse_true_false():
+    assert parse("true & R(x)") == Atom("R", (Var("x"),))
+
+
+def test_parse_error_on_garbage():
+    with pytest.raises(ParseError):
+        parse("R(x) &")
+    with pytest.raises(ParseError):
+        parse("R(x")
+    with pytest.raises(ParseError):
+        parse("R(x) S(y)")
+
+
+def test_parse_error_position_reported():
+    try:
+        parse("R(x) @")
+    except ParseError as error:
+        assert "position" in str(error)
+    else:  # pragma: no cover
+        raise AssertionError("expected ParseError")
+
+
+def test_parse_sentence_rejects_free_variables():
+    with pytest.raises(ParseError, match="free variables"):
+        parse_sentence("R(x)")
+
+
+def test_parse_sentence_accepts_closed():
+    f = parse_sentence("exists x. R(x)")
+    assert f.is_sentence()
+
+
+def test_keyword_cannot_be_term():
+    with pytest.raises(ParseError):
+        parse("R(forall)")
+
+
+def test_parse_nested_parens():
+    f = parse("((R(x)))")
+    assert f == Atom("R", (Var("x"),))

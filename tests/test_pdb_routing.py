@@ -1,0 +1,80 @@
+"""Routing edge cases for the façade's AUTO strategy."""
+
+import pytest
+
+from repro.core.pdb import Method, ProbabilisticDatabase
+from repro.workloads.generators import full_tid, random_tid
+
+from conftest import close
+
+
+@pytest.fixture
+def pdb():
+    return ProbabilisticDatabase(tid=random_tid(23, 3), seed=5)
+
+
+def test_auto_prefers_lifted(pdb):
+    assert pdb.probability("R(x), S(x,y)").method is Method.LIFTED
+
+
+def test_auto_uses_dpll_within_limit(pdb):
+    answer = pdb.probability("R(x), S(x,y), T(y)")
+    assert answer.method is Method.DPLL
+    assert answer.exact
+
+
+def test_auto_falls_back_to_karp_luby_beyond_limit():
+    facade = ProbabilisticDatabase(tid=full_tid(23, 3), seed=5)
+    facade.exact_lineage_limit = 0
+    facade.mc_epsilon = 0.05
+    answer = facade.probability("R(x), S(x,y), T(y)")
+    assert answer.method is Method.KARP_LUBY
+    assert not answer.exact
+    exact = ProbabilisticDatabase(tid=facade.tid).probability(
+        "R(x), S(x,y), T(y)", Method.DPLL
+    )
+    assert exact.probability > 0.05
+    assert abs(answer.probability - exact.probability) / exact.probability < 0.2
+
+
+def test_auto_falls_back_to_monte_carlo_when_dnf_explodes(pdb):
+    # a ∀-sentence whose lineage is a large CNF: DNF conversion explodes,
+    # so with a tiny exact limit the router must use naive Monte Carlo.
+    db = full_tid(31, 4)
+    facade = ProbabilisticDatabase(tid=db, seed=7, exact_lineage_limit=0)
+    facade.mc_epsilon = 0.05
+    sentence = "forall x. forall y. (R(x) | S(x,y) | T(y))"
+    answer = facade.probability(sentence)
+    assert answer.method is Method.MONTE_CARLO
+    exact = ProbabilisticDatabase(tid=db).probability(sentence, Method.DPLL)
+    assert abs(answer.probability - exact.probability) < 0.08
+
+
+def test_detail_mentions_blocking_subquery(pdb):
+    answer = pdb.probability("R(x), S(x,y), T(y)")
+    assert "lifted failed" in answer.detail
+
+
+def test_forced_method_overrides_auto(pdb):
+    answer = pdb.probability("R(x), S(x,y)", Method.MONTE_CARLO)
+    assert answer.method is Method.MONTE_CARLO
+
+
+def test_explain_hard_query(pdb):
+    text = pdb.explain("R(x), S(x,y), T(y)")
+    assert "dpll" in text
+
+
+def test_seed_makes_sampling_deterministic(pdb):
+    a = pdb.probability("R(x), S(x,y)", Method.MONTE_CARLO).probability
+    b = pdb.probability("R(x), S(x,y)", Method.MONTE_CARLO).probability
+    assert a == b
+
+
+def test_exact_routes_consistent_on_sentences(pdb):
+    sentence = "forall x. forall y. (S(x,y) -> R(x))"
+    lifted = pdb.probability(sentence, Method.LIFTED).probability
+    dpll = pdb.probability(sentence, Method.DPLL).probability
+    brute = pdb.probability(sentence, Method.BRUTE_FORCE).probability
+    assert close(lifted, dpll)
+    assert close(dpll, brute)

@@ -1,0 +1,95 @@
+"""Deeper plan/bounds validation: longer chains, star queries, 4-atom CQs."""
+
+import pytest
+
+from repro.logic.cq import parse_cq
+from repro.plans.bounds import extensional_bounds
+from repro.plans.dissociation import all_dissociations, minimal_dissociations
+from repro.plans.plan import execute_boolean, project_boolean
+from repro.plans.safe_plan import safe_plan, try_safe_plan
+from repro.workloads.generators import random_tid
+
+from conftest import close
+
+CHAIN_SCHEMA = (("R0", 1), ("E1", 2), ("E2", 2), ("T", 1), ("U", 1))
+
+
+def chain_db(seed=3):
+    return random_tid(seed, 3, schema=CHAIN_SCHEMA, density=0.75)
+
+
+def test_chain_query_is_unsafe():
+    # R0(x), E1(x,y), E2(y,z): at(y) = {E1, E2} vs at(x) = {R0, E1} overlap
+    q = parse_cq("R0(x), E1(x,y), E2(y,z)")
+    assert try_safe_plan(q) is None
+
+
+def test_chain_bounds_sandwich():
+    q = parse_cq("R0(x), E1(x,y), E2(y,z)")
+    for seed in (0, 1, 2):
+        db = random_tid(seed, 2, schema=CHAIN_SCHEMA, density=0.8)
+        exact = db.brute_force_probability(q.to_formula())
+        bounds = extensional_bounds(q, db)
+        assert bounds.contains(exact), seed
+
+
+def test_four_atom_star_is_safe():
+    q = parse_cq("R0(x), E1(x,y), U(x), T(x)")
+    db = random_tid(3, 2, schema=CHAIN_SCHEMA, density=0.9)
+    plan = project_boolean(safe_plan(q))
+    got = execute_boolean(plan, db)
+    want = db.brute_force_probability(q.to_formula())
+    assert close(got, want)
+
+
+def test_four_atom_unsafe_bounds():
+    q = parse_cq("R0(x), E1(x,y), T(y), U(x)")
+    db = random_tid(5, 2, schema=CHAIN_SCHEMA, density=0.9)
+    exact = db.brute_force_probability(q.to_formula())
+    bounds = extensional_bounds(q, db)
+    assert bounds.contains(exact)
+
+
+def test_minimal_dissociations_subset_of_all():
+    q = parse_cq("R0(x), E1(x,y), E2(y,z)")
+    every = list(all_dissociations(q))
+    minimal = minimal_dissociations(q)
+    assert len(minimal) <= len(every)
+    every_keys = {d.added for d in every}
+    assert all(d.added in every_keys for d in minimal)
+
+
+def test_minimal_dissociations_are_incomparable():
+    q = parse_cq("R0(x), E1(x,y), E2(y,z)")
+    minimal = minimal_dissociations(q)
+    for a in minimal:
+        for b in minimal:
+            if a is b:
+                continue
+            dominates = all(x <= y for x, y in zip(a.added, b.added))
+            assert not dominates or a.added == b.added
+
+
+def test_bounds_width_shrinks_with_extreme_probabilities():
+    # near-deterministic tuples make every plan nearly exact
+    q = parse_cq("R(x), S(x,y), T(y)")
+    sharp = random_tid(2, 3, probability_range=(0.97, 0.99))
+    fuzzy = random_tid(2, 3, probability_range=(0.4, 0.6))
+    assert (
+        extensional_bounds(q, sharp).width
+        <= extensional_bounds(q, fuzzy).width + 1e-6
+    )
+
+
+def test_safe_plan_str_mentions_operators():
+    plan = project_boolean(safe_plan(parse_cq("R(x), S(x,y)")))
+    text = str(plan)
+    assert "γ" in text and "⋈" in text
+
+
+def test_bounds_zero_when_relation_empty():
+    q = parse_cq("R0(x), E1(x,y), E2(y,z)")
+    db = random_tid(1, 2, schema=(("E1", 2), ("E2", 2)))  # no R0 at all
+    bounds = extensional_bounds(q, db)
+    assert bounds.lower == 0.0
+    assert bounds.upper == 0.0

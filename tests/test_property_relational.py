@@ -1,0 +1,170 @@
+"""Property-based tests for the relational algebra and CQ machinery."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.logic.cq import ConjunctiveQuery
+from repro.logic.formulas import Atom
+from repro.logic.terms import Var
+from repro.relational.algebra import (
+    independent_project,
+    join,
+    oplus,
+    select_eq,
+    union,
+)
+from repro.relational.relation import Relation
+
+VALUES = ("a", "b", "c")
+
+
+@st.composite
+def relations(draw, attributes=("x", "y")):
+    rows = draw(
+        st.dictionaries(
+            st.tuples(*(st.sampled_from(VALUES) for _ in attributes)),
+            st.floats(0.0, 1.0, allow_nan=False),
+            max_size=6,
+        )
+    )
+    return Relation("R", tuple(attributes), dict(rows))
+
+
+@st.composite
+def probabilities(draw):
+    return draw(st.floats(0.0, 1.0, allow_nan=False))
+
+
+# -- ⊕ is a commutative monoid on [0,1] ---------------------------------------------
+
+
+@given(probabilities(), probabilities())
+@settings(max_examples=200, deadline=None)
+def test_oplus_commutative(u, v):
+    assert abs(oplus(u, v) - oplus(v, u)) < 1e-12
+
+
+@given(probabilities(), probabilities(), probabilities())
+@settings(max_examples=200, deadline=None)
+def test_oplus_associative(u, v, w):
+    assert abs(oplus(oplus(u, v), w) - oplus(u, oplus(v, w))) < 1e-12
+
+
+@given(probabilities())
+@settings(max_examples=100, deadline=None)
+def test_oplus_identity_and_absorbing(u):
+    # identity holds up to float rounding (1 - (1-u) loses tiny u)
+    assert abs(oplus(u, 0.0) - u) < 1e-12
+    assert abs(oplus(u, 1.0) - 1.0) < 1e-12
+
+
+@given(probabilities(), probabilities())
+@settings(max_examples=200, deadline=None)
+def test_oplus_stays_in_unit_interval(u, v):
+    result = oplus(u, v)
+    assert -1e-12 <= result <= 1.0 + 1e-12
+
+
+# -- algebra laws ----------------------------------------------------------------------
+
+
+@given(relations(), relations(attributes=("y", "z")))
+@settings(max_examples=80, deadline=None)
+def test_join_row_count_bounded_by_product(r, s):
+    out = join(r, s)
+    assert len(out) <= len(r) * len(s)
+
+
+@given(relations(), relations(attributes=("y", "z")))
+@settings(max_examples=80, deadline=None)
+def test_join_probabilities_multiply(r, s):
+    out = join(r, s)
+    for (x, y, z), probability in out.items():
+        assert abs(probability - r.probability((x, y)) * s.probability((y, z))) < 1e-12
+
+
+@given(relations())
+@settings(max_examples=80, deadline=None)
+def test_independent_project_groups_cover_rows(r):
+    out = independent_project(r, ["x"])
+    assert {row[0] for row in r} == set(row[0] for row in out)
+
+
+@given(relations())
+@settings(max_examples=80, deadline=None)
+def test_independent_project_dominates_each_row(r):
+    out = independent_project(r, ["x"])
+    for (x, y), probability in r.items():
+        assert out.probability((x,)) >= probability - 1e-12
+
+
+@given(relations(), relations())
+@settings(max_examples=80, deadline=None)
+def test_union_commutative(r, s):
+    a = union(r, s)
+    b = union(s, r)
+    assert a.rows.keys() == b.rows.keys()
+    for row in a.rows:
+        assert abs(a.rows[row] - b.rows[row]) < 1e-12
+
+
+@given(relations(), st.sampled_from(VALUES))
+@settings(max_examples=80, deadline=None)
+def test_select_subset(r, value):
+    out = select_eq(r, "x", value)
+    assert set(out.rows) <= set(r.rows)
+    assert all(row[0] == value for row in out.rows)
+
+
+# -- CQ canonicalization ----------------------------------------------------------------
+
+
+@st.composite
+def small_cqs(draw):
+    predicates = [("R", 1), ("S", 2), ("T", 1)]
+    variables = [Var("x"), Var("y"), Var("z")]
+    count = draw(st.integers(1, 3))
+    atoms = []
+    for _ in range(count):
+        name, arity = draw(st.sampled_from(predicates))
+        args = tuple(draw(st.sampled_from(variables)) for _ in range(arity))
+        atoms.append(Atom(name, args))
+    return ConjunctiveQuery(tuple(atoms))
+
+
+@given(small_cqs(), st.permutations([Var("x"), Var("y"), Var("z")]))
+@settings(max_examples=150, deadline=None)
+def test_canonical_key_invariant_under_renaming(query, permuted):
+    mapping = dict(zip([Var("x"), Var("y"), Var("z")], permuted))
+    renamed = query.substitute(mapping)
+    assert query.canonical_key() == renamed.canonical_key()
+
+
+@given(small_cqs())
+@settings(max_examples=100, deadline=None)
+def test_core_is_equivalent(query):
+    core = query.core()
+    assert core.equivalent(query)
+    assert len(core.atoms) <= len(query.atoms)
+
+
+@given(small_cqs())
+@settings(max_examples=100, deadline=None)
+def test_core_idempotent(query):
+    core = query.core()
+    assert core.core().canonical_key() == core.canonical_key()
+
+
+@given(small_cqs(), small_cqs())
+@settings(max_examples=100, deadline=None)
+def test_implication_consistent_with_keys(q1, q2):
+    if q1.canonical_key() == q2.canonical_key():
+        assert q1.equivalent(q2)
+
+
+@given(small_cqs(), small_cqs())
+@settings(max_examples=80, deadline=None)
+def test_conjoin_implies_both(q1, q2):
+    joined = q1.conjoin(q2)
+    assert joined.implies(q1)
+    assert joined.implies(q2)

@@ -1,0 +1,149 @@
+"""Unit tests for repro.relational: relations and the probabilistic algebra."""
+
+import pytest
+
+from repro.relational.algebra import (
+    boolean_oplus,
+    cartesian_product,
+    difference,
+    independent_project,
+    join,
+    oplus,
+    project,
+    rename_attributes,
+    select,
+    select_eq,
+    union,
+)
+from repro.relational.relation import Relation, relation_from_rows
+
+
+@pytest.fixture
+def r():
+    return relation_from_rows("R", ("x",), {("a",): 0.5, ("b",): 0.25})
+
+
+@pytest.fixture
+def s():
+    return relation_from_rows(
+        "S",
+        ("x", "y"),
+        {("a", "a"): 0.8, ("a", "b"): 0.3, ("b", "b"): 0.9},
+    )
+
+
+def test_oplus_definition():
+    assert oplus(0.5, 0.5) == pytest.approx(0.75)
+    assert oplus(0.0, 0.3) == pytest.approx(0.3)
+    assert oplus(1.0, 0.3) == pytest.approx(1.0)
+
+
+def test_relation_add_and_probability(r):
+    assert r.probability(("a",)) == 0.5
+    assert r.probability(("zzz",)) == 0.0
+    assert ("a",) in r and ("zzz",) not in r
+
+
+def test_relation_arity_check():
+    rel = Relation("R", ("x",))
+    with pytest.raises(ValueError):
+        rel.add(("a", "b"))
+
+
+def test_relation_probability_range_check():
+    rel = Relation("R", ("x",))
+    with pytest.raises(ValueError):
+        rel.add(("a",), 1.5)
+
+
+def test_active_domain(s):
+    assert s.active_domain() == {"a", "b"}
+
+
+def test_map_probabilities(r):
+    doubled = r.map_probabilities(lambda p: p / 2)
+    assert doubled.probability(("a",)) == 0.25
+    assert r.probability(("a",)) == 0.5  # original untouched
+
+
+def test_is_deterministic():
+    det = relation_from_rows("D", ("x",), [("a",), ("b",)])
+    assert det.is_deterministic()
+
+
+def test_select(s):
+    out = select(s, lambda row: row["y"] == "b")
+    assert len(out) == 2
+
+
+def test_select_eq(s):
+    out = select_eq(s, "x", "a")
+    assert set(out.rows) == {("a", "a"), ("a", "b")}
+
+
+def test_project_set_semantics(s):
+    out = project(s, ["x"])
+    assert set(out.rows) == {("a",), ("b",)}
+    assert all(p == 1.0 for p in out.rows.values())
+
+
+def test_independent_project(s):
+    out = independent_project(s, ["x"])
+    assert out.probability(("a",)) == pytest.approx(oplus(0.8, 0.3))
+    assert out.probability(("b",)) == pytest.approx(0.9)
+
+
+def test_join_multiplies(r, s):
+    out = join(r, s)
+    assert out.probability(("a", "a")) == pytest.approx(0.5 * 0.8)
+    assert out.probability(("b", "b")) == pytest.approx(0.25 * 0.9)
+    assert len(out) == 3
+
+
+def test_join_schema_order(r, s):
+    out = join(s, r)
+    assert out.attributes == ("x", "y")
+
+
+def test_join_no_shared_is_product(r):
+    t = relation_from_rows("T", ("z",), {("q",): 0.5})
+    out = join(r, t)
+    assert len(out) == 2
+    assert out.probability(("a", "q")) == pytest.approx(0.25)
+
+
+def test_cartesian_product_rejects_shared_names(r):
+    with pytest.raises(ValueError):
+        cartesian_product(r, r)
+
+
+def test_union_oplus(r):
+    r2 = relation_from_rows("R2", ("x",), {("a",): 0.5, ("c",): 0.1})
+    out = union(r, r2)
+    assert out.probability(("a",)) == pytest.approx(0.75)
+    assert out.probability(("c",)) == pytest.approx(0.1)
+
+
+def test_union_schema_mismatch(r, s):
+    with pytest.raises(ValueError):
+        union(r, s)
+
+
+def test_difference(r):
+    r2 = relation_from_rows("R2", ("x",), {("a",): 1.0})
+    out = difference(r, r2)
+    assert set(out.rows) == {("b",)}
+
+
+def test_rename_attributes(s):
+    out = rename_attributes(s, ("u", "v"))
+    assert out.attributes == ("u", "v")
+    with pytest.raises(ValueError):
+        rename_attributes(s, ("u",))
+
+
+def test_boolean_oplus(s):
+    expected = 1 - (1 - 0.8) * (1 - 0.3) * (1 - 0.9)
+    zero_col = independent_project(s, [])
+    assert boolean_oplus(s) == pytest.approx(expected)
+    assert zero_col.probability(()) == pytest.approx(expected)

@@ -1,0 +1,109 @@
+"""White-box tests for Scott normal form and the Skolemization step."""
+
+import pytest
+
+from repro.logic.formulas import Atom, Exists, Forall
+from repro.logic.parser import parse
+from repro.logic.terms import Var
+from repro.symmetric.scott import (
+    NotFO2Error,
+    direct_normal_form,
+    scott_normal_form,
+)
+from repro.symmetric.symmetric_db import SymmetricDatabase
+from repro.symmetric.wfomc import WFOMCProblem, wfomc
+
+from conftest import close
+
+X, Y = Var("x"), Var("y")
+
+
+def test_matrix_uses_only_xy_variables():
+    result = scott_normal_form(parse("forall u. exists v. S(u,v)"))
+    for atom in result.matrix.atoms():
+        for term in atom.args:
+            assert term in (X, Y)
+
+
+def test_skolem_weights_are_one_minus_one():
+    result = scott_normal_form(parse("forall x. exists y. S(x,y)"))
+    skolems = [n for n in result.auxiliary_weights if n.startswith("_s")]
+    assert skolems
+    for name in skolems:
+        assert result.auxiliary_weights[name] == (1.0, -1.0)
+
+
+def test_tseitin_weights_are_neutral():
+    result = scott_normal_form(parse("forall x. exists y. S(x,y)"))
+    tseitins = [n for n in result.auxiliary_weights if n.startswith("_z")]
+    assert tseitins
+    for name in tseitins:
+        assert result.auxiliary_weights[name] == (1.0, 1.0)
+
+
+def test_nullary_auxiliary_for_sentence_level_quantifier():
+    result = scott_normal_form(parse("exists x. R(x)"))
+    assert 0 in result.auxiliary_arities.values()
+
+
+def test_matrix_is_quantifier_free():
+    result = scott_normal_form(
+        parse("forall x. (R(x) -> exists y. (S(x,y) & R(y)))")
+    )
+    assert not any(
+        isinstance(node, (Exists, Forall)) for node in result.matrix.walk()
+    )
+
+
+def test_scott_preserves_wfomc_vs_direct():
+    # ∀x∃y S(x,y) has both a direct form and a general Scott form; the two
+    # must produce the same probability.
+    sentence = parse("forall x. exists y. S(x,y)")
+    weights = {"S": (0.45, 0.55)}
+    direct = direct_normal_form(sentence)
+    general = scott_normal_form(sentence)
+    for n in (1, 2, 3):
+        problems = []
+        for normal in (direct, general):
+            w = dict(weights)
+            w.update(normal.auxiliary_weights)
+            problems.append(WFOMCProblem(normal.matrix, w))
+        a = wfomc(problems[0], n)
+        b = wfomc(problems[1], n)
+        assert close(a, b)
+
+
+def test_direct_form_none_for_exists_prefix():
+    assert direct_normal_form(parse("exists x. exists y. S(x,y)")) is None
+
+
+def test_direct_form_single_universal():
+    result = direct_normal_form(parse("forall x. R(x)"))
+    assert result is not None
+    assert not result.auxiliary_weights
+
+
+def test_not_fo2_rejected():
+    with pytest.raises(NotFO2Error):
+        scott_normal_form(
+            parse("exists x. exists y. exists z. (S(x,y) & S(y,z))")
+        )
+
+
+def test_free_variable_rejected():
+    with pytest.raises(ValueError):
+        scott_normal_form(parse("exists y. S(x,y)"))
+
+
+def test_deeply_nested_alternation():
+    # ∃x ∀y (S(x,y) ∨ ∃x... keep within two names: ∃x ∀y (S(x,y) ∨ R(y))
+    sentence = parse("exists x. forall y. (S(x,y) | R(y))")
+    result = scott_normal_form(sentence)
+    db = SymmetricDatabase(2)
+    db.add_relation("S", 2, 0.4)
+    db.add_relation("R", 1, 0.6)
+    weights = {"S": (0.4, 0.6), "R": (0.6, 0.4)}
+    weights.update(result.auxiliary_weights)
+    got = wfomc(WFOMCProblem(result.matrix, weights), 2)
+    want = db.to_tid().brute_force_probability(sentence)
+    assert close(got, want)

@@ -1,0 +1,82 @@
+"""Unit tests for repro.logic.semantics (FO model checking)."""
+
+import pytest
+
+from repro.logic.parser import parse
+from repro.logic.semantics import ground_atom, satisfies
+from repro.logic.formulas import Atom
+from repro.logic.terms import Const, Var
+
+DOMAIN = ("a", "b")
+
+
+def test_atom_satisfaction():
+    world = {("R", ("a",))}
+    assert satisfies(world, DOMAIN, parse("R('a')"))
+    assert not satisfies(world, DOMAIN, parse("R('b')"))
+
+
+def test_negation():
+    world = {("R", ("a",))}
+    assert satisfies(world, DOMAIN, parse("~R('b')"))
+
+
+def test_exists():
+    world = {("R", ("b",))}
+    assert satisfies(world, DOMAIN, parse("exists x. R(x)"))
+    assert not satisfies(frozenset(), DOMAIN, parse("exists x. R(x)"))
+
+
+def test_forall():
+    world = {("R", ("a",)), ("R", ("b",))}
+    assert satisfies(world, DOMAIN, parse("forall x. R(x)"))
+    assert not satisfies({("R", ("a",))}, DOMAIN, parse("forall x. R(x)"))
+
+
+def test_h0_semantics():
+    h0 = parse("forall x. forall y. (R(x) | S(x,y) | T(y))")
+    full_s = {("S", (u, v)) for u in DOMAIN for v in DOMAIN}
+    assert satisfies(full_s, DOMAIN, h0)
+    missing = set(full_s) - {("S", ("a", "b"))}
+    assert not satisfies(missing, DOMAIN, h0)
+    # covered by R(a) instead
+    assert satisfies(missing | {("R", ("a",))}, DOMAIN, h0)
+
+
+def test_shadowed_quantifier():
+    # ∃x (R(x) ∧ ∃x T(x)): inner x shadows outer.
+    f = parse("exists x. (R(x) & (exists x. T(x)))")
+    world = {("R", ("a",)), ("T", ("b",))}
+    assert satisfies(world, DOMAIN, f)
+
+
+def test_nested_requantification_restores_binding():
+    # ∃x (T(x) ∧ ∃x R(x) ∧ T(x)) — after the inner ∃x, the outer binding
+    # must be restored for the final T(x).
+    f = parse("exists x. (R(x) & (exists x. T(x)) & R(x))")
+    world = {("R", ("a",)), ("T", ("b",))}
+    assert satisfies(world, DOMAIN, f)
+
+
+def test_free_variable_raises():
+    with pytest.raises(ValueError, match="unbound"):
+        satisfies(frozenset(), DOMAIN, parse("R(x)"))
+
+
+def test_env_binds_free_variables():
+    assert satisfies({("R", ("a",))}, DOMAIN, parse("R(x)"), env={Var("x"): "a"})
+
+
+def test_ground_atom_with_constants_and_env():
+    atom = Atom("S", (Const("a"), Var("y")))
+    assert ground_atom(atom, {Var("y"): "b"}) == ("S", ("a", "b"))
+
+
+def test_ground_atom_unbound_raises():
+    with pytest.raises(ValueError):
+        ground_atom(Atom("R", (Var("x"),)), {})
+
+
+def test_true_false_constants():
+    assert satisfies(frozenset(), DOMAIN, parse("true"))
+    assert not satisfies(frozenset(), DOMAIN, parse("false"))

@@ -1,0 +1,203 @@
+"""Unit tests for repro.symmetric: H0 closed form, Scott NF, FO² WFOMC."""
+
+import pytest
+
+from repro.logic.parser import parse
+from repro.symmetric.evaluate import symmetric_probability
+from repro.symmetric.h0 import h0_symmetric_probability
+from repro.symmetric.scott import (
+    NotFO2Error,
+    check_fo2,
+    direct_normal_form,
+    scott_normal_form,
+)
+from repro.symmetric.symmetric_db import SymmetricDatabase
+from repro.symmetric.wfomc import WFOMCProblem, wfomc
+
+from conftest import close
+
+H0 = parse("forall x. forall y. (R(x) | S(x,y) | T(y))")
+
+
+def h0_db(n, p_r=0.3, p_s=0.6, p_t=0.4):
+    db = SymmetricDatabase(n)
+    db.add_relation("R", 1, p_r)
+    db.add_relation("S", 2, p_s)
+    db.add_relation("T", 1, p_t)
+    return db
+
+
+# -- SymmetricDatabase -----------------------------------------------------------
+
+
+def test_symmetric_db_materializes_full_cross_product():
+    db = h0_db(2)
+    tid = db.to_tid()
+    assert len(tid.relations["S"]) == 4
+    assert tid.is_symmetric()
+
+
+def test_symmetric_db_validation():
+    db = SymmetricDatabase(2)
+    with pytest.raises(ValueError):
+        db.add_relation("R", 1, 1.5)
+    with pytest.raises(ValueError):
+        db.add_relation("R", -1, 0.5)
+
+
+def test_tuple_count():
+    assert h0_db(3).tuple_count() == 3 + 9 + 3
+
+
+# -- H0 closed form -----------------------------------------------------------------
+
+
+@pytest.mark.parametrize("n", [0, 1, 2])
+def test_h0_closed_form_matches_brute_force(n):
+    db = h0_db(n)
+    want = db.to_tid().brute_force_probability(H0) if n else 1.0
+    got = h0_symmetric_probability(n, 0.3, 0.6, 0.4)
+    assert close(got, want)
+
+
+def test_h0_closed_form_extremes():
+    assert close(h0_symmetric_probability(3, 1.0, 0.0, 0.0), 1.0)
+    assert close(h0_symmetric_probability(2, 0.0, 1.0, 0.0), 1.0)
+    # p_S = 0, p_R = p_T = 0.5: need R(i) or T(j) for every pair
+    got = h0_symmetric_probability(1, 0.5, 0.0, 0.5)
+    assert close(got, 0.75)
+
+
+def test_h0_closed_form_polynomial_scale():
+    # must run fast and produce a finite value at n = 200
+    value = h0_symmetric_probability(200, 0.3, 0.6, 0.4)
+    assert 0.0 <= value <= 1.0
+
+
+# -- Scott normal form -----------------------------------------------------------------
+
+
+def test_check_fo2_accepts_two_variables():
+    check_fo2(H0)
+
+
+def test_check_fo2_rejects_three_variables():
+    with pytest.raises(NotFO2Error):
+        check_fo2(parse("exists x. exists y. exists z. (S(x,y) & S(y,z))"))
+
+
+def test_check_fo2_rejects_ternary_predicate():
+    with pytest.raises(NotFO2Error):
+        check_fo2(parse("exists x. exists y. W(x,y,x)"))
+
+
+def test_direct_normal_form_forall_forall():
+    result = direct_normal_form(H0)
+    assert result is not None
+    assert not result.auxiliary_weights
+
+
+def test_direct_normal_form_forall_exists():
+    result = direct_normal_form(parse("forall x. exists y. S(x,y)"))
+    assert result is not None
+    assert list(result.auxiliary_weights.values()) == [(1.0, -1.0)]
+
+
+def test_direct_normal_form_rejects_nested():
+    result = direct_normal_form(
+        parse("forall x. (R(x) -> exists y. S(x,y))")
+    )
+    assert result is None
+
+
+def test_scott_normal_form_produces_auxiliaries():
+    result = scott_normal_form(parse("forall x. (R(x) -> exists y. S(x,y))"))
+    assert result.auxiliary_weights
+    kinds = {w for w in result.auxiliary_weights.values()}
+    assert (1.0, -1.0) in kinds  # at least one Skolem predicate
+
+
+# -- WFOMC ---------------------------------------------------------------------------
+
+
+def test_wfomc_trivial_matrix():
+    problem = WFOMCProblem(parse("R(x) | ~R(x)"), {"R": (0.5, 0.5)})
+    assert close(wfomc(problem, 3), 1.0)
+
+
+def test_wfomc_single_unary():
+    # ∀x R(x): probability p^n
+    problem = WFOMCProblem(parse("R(x)"), {"R": (0.3, 0.7)})
+    assert close(wfomc(problem, 4), 0.3 ** 4)
+
+
+def test_wfomc_matches_brute_force_h0():
+    for n in (1, 2):
+        db = h0_db(n)
+        got = symmetric_probability(H0, db)
+        want = db.to_tid().brute_force_probability(H0)
+        assert close(got, want)
+
+
+def test_wfomc_matches_closed_form_larger_n():
+    for n in (3, 5, 8):
+        db = h0_db(n)
+        got = symmetric_probability(H0, db)
+        want = h0_symmetric_probability(n, 0.3, 0.6, 0.4)
+        assert close(got, want, 1e-9)
+
+
+@pytest.mark.parametrize(
+    "text",
+    [
+        "forall x. exists y. S(x,y)",
+        "exists x. forall y. S(x,y)",
+        "exists x. exists y. (S(x,y) & R(x))",
+        "forall x. (R(x) -> exists y. (S(x,y) & R(y)))",
+        "exists x. exists y. (S(x,y) & ~R(x))",
+        "forall x. forall y. (S(x,y) -> S(y,x))",
+        "exists x. R(x)",
+        "forall x. (R(x) | ~S(x,x))",
+    ],
+)
+@pytest.mark.parametrize("n", [1, 2])
+def test_symmetric_probability_matches_brute_force(text, n):
+    db = SymmetricDatabase(n)
+    db.add_relation("R", 1, 0.7)
+    db.add_relation("S", 2, 0.45)
+    sentence = parse(text)
+    got = symmetric_probability(sentence, db)
+    want = db.to_tid().brute_force_probability(sentence)
+    assert close(got, want)
+
+
+def test_symmetric_probability_polynomial_in_n():
+    # Theorem 8.1: FO² symmetric PQE in PTIME — n = 40 must be quick.
+    db = SymmetricDatabase(40)
+    db.add_relation("R", 1, 0.3)
+    db.add_relation("S", 2, 0.6)
+    db.add_relation("T", 1, 0.4)
+    value = symmetric_probability(H0, db)
+    assert 0.0 <= value <= 1.0
+
+
+def test_symmetric_transitivity_style_sentence():
+    # symmetric relation constraint on a 2-element domain
+    db = SymmetricDatabase(2)
+    db.add_relation("S", 2, 0.5)
+    sentence = parse("forall x. forall y. (S(x,y) -> S(y,x))")
+    got = symmetric_probability(sentence, db)
+    # S(a,b) ⇔ S(b,a) must agree: diagonal free (2 tuples), off-diagonal
+    # pair must match: (0.25 + 0.25) for the pair
+    want = db.to_tid().brute_force_probability(sentence)
+    assert close(got, want)
+
+
+def test_wfomc_problem_rejects_bad_variables():
+    with pytest.raises(ValueError):
+        WFOMCProblem(parse("S(x,z)"), {"S": (0.5, 0.5)})
+
+
+def test_wfomc_problem_requires_weights():
+    with pytest.raises(ValueError):
+        WFOMCProblem(parse("R(x)"), {})

@@ -1,0 +1,107 @@
+"""Deeper symmetric-WFOMC validation: larger domains, more vocabularies."""
+
+import pytest
+
+from repro.logic.parser import parse
+from repro.symmetric.evaluate import symmetric_probability
+from repro.symmetric.symmetric_db import SymmetricDatabase
+
+from conftest import close
+
+
+def sym_db(n, relations):
+    db = SymmetricDatabase(n)
+    for name, arity, p in relations:
+        db.add_relation(name, arity, p)
+    return db
+
+
+@pytest.mark.parametrize(
+    "text",
+    [
+        "forall x. exists y. S(x,y)",
+        "exists x. forall y. S(x,y)",
+        "forall x. forall y. (S(x,y) -> S(y,x))",
+        "forall x. S(x,x)",
+        "exists x. S(x,x)",
+        "forall x. exists y. (S(x,y) & ~S(y,x))",
+    ],
+)
+def test_binary_only_vocabulary_n3(text):
+    db = sym_db(3, [("S", 2, 0.35)])
+    sentence = parse(text)
+    got = symmetric_probability(sentence, db)
+    want = db.to_tid().brute_force_probability(sentence)
+    assert close(got, want), text
+
+
+@pytest.mark.parametrize(
+    "text",
+    [
+        "forall x. (R(x) | exists y. S(x,y))",
+        "exists x. (R(x) & forall y. (S(x,y) -> R(y)))",
+        "forall x. forall y. ((R(x) & R(y)) -> S(x,y))",
+    ],
+)
+@pytest.mark.parametrize("n", [1, 2])
+def test_mixed_vocabulary(text, n):
+    db = sym_db(n, [("R", 1, 0.6), ("S", 2, 0.25)])
+    sentence = parse(text)
+    got = symmetric_probability(sentence, db)
+    want = db.to_tid().brute_force_probability(sentence)
+    assert close(got, want), (text, n)
+
+
+def test_extreme_probabilities():
+    db = sym_db(3, [("S", 2, 1.0)])
+    assert close(
+        symmetric_probability(parse("forall x. forall y. S(x,y)"), db), 1.0
+    )
+    db0 = sym_db(3, [("S", 2, 0.0)])
+    assert close(
+        symmetric_probability(parse("exists x. exists y. S(x,y)"), db0), 0.0
+    )
+
+
+def test_domain_size_one_degenerate():
+    db = sym_db(1, [("S", 2, 0.5), ("R", 1, 0.3)])
+    sentence = parse("forall x. exists y. (S(x,y) & R(y))")
+    got = symmetric_probability(sentence, db)
+    # single element: S(0,0) ∧ R(0)
+    assert close(got, 0.15)
+
+
+def test_monotonicity_in_probability():
+    sentence = parse("forall x. exists y. S(x,y)")
+    values = []
+    for p in (0.2, 0.4, 0.6, 0.8):
+        db = sym_db(4, [("S", 2, p)])
+        values.append(symmetric_probability(sentence, db))
+    assert values == sorted(values)
+
+
+def test_monotonicity_in_domain_for_existential():
+    sentence = parse("exists x. exists y. S(x,y)")
+    values = []
+    for n in (1, 2, 3, 4):
+        db = sym_db(n, [("S", 2, 0.3)])
+        values.append(symmetric_probability(sentence, db))
+    assert values == sorted(values)
+
+
+def test_complement_consistency():
+    # p(Q) + p(¬Q) = 1 through two separate WFOMC runs
+    q = parse("forall x. exists y. S(x,y)")
+    nq = parse("exists x. forall y. ~S(x,y)")
+    db = sym_db(3, [("S", 2, 0.45)])
+    assert close(
+        symmetric_probability(q, db) + symmetric_probability(nq, db), 1.0
+    )
+
+
+def test_three_unary_predicates():
+    db = sym_db(2, [("R", 1, 0.3), ("U", 1, 0.5), ("T", 1, 0.7)])
+    sentence = parse("forall x. ((R(x) & U(x)) -> T(x))")
+    got = symmetric_probability(sentence, db)
+    want = db.to_tid().brute_force_probability(sentence)
+    assert close(got, want)

@@ -1,0 +1,48 @@
+"""Unit tests for repro.logic.terms."""
+
+from repro.logic.terms import Const, Var, constants_of, is_constant, is_variable, variables_of
+
+
+def test_var_equality_by_name():
+    assert Var("x") == Var("x")
+    assert Var("x") != Var("y")
+
+
+def test_var_hashable():
+    assert len({Var("x"), Var("x"), Var("y")}) == 2
+
+
+def test_const_equality_by_value():
+    assert Const("a") == Const("a")
+    assert Const("a") != Const("b")
+    assert Const(1) != Const("1")
+
+
+def test_const_wraps_arbitrary_hashables():
+    assert Const((1, 2)).value == (1, 2)
+
+
+def test_is_variable_and_is_constant():
+    assert is_variable(Var("x"))
+    assert not is_variable(Const("a"))
+    assert is_constant(Const("a"))
+    assert not is_constant(Var("x"))
+
+
+def test_variables_of_mixed_terms():
+    terms = [Var("x"), Const("a"), Var("y"), Var("x")]
+    assert variables_of(terms) == frozenset({Var("x"), Var("y")})
+
+
+def test_constants_of_mixed_terms():
+    terms = [Var("x"), Const("a"), Const(3)]
+    assert constants_of(terms) == frozenset({Const("a"), Const(3)})
+
+
+def test_var_str():
+    assert str(Var("x")) == "x"
+
+
+def test_const_str_quotes_strings():
+    assert str(Const("a1")) == "'a1'"
+    assert str(Const(7)) == "7"

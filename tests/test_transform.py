@@ -1,0 +1,130 @@
+"""Unit tests for repro.logic.transform."""
+
+import itertools
+
+import pytest
+
+from repro.logic.parser import parse
+from repro.logic.semantics import satisfies
+from repro.logic.transform import (
+    COMPLEMENT_SUFFIX,
+    dual,
+    is_monotone,
+    is_unate,
+    polarity_map,
+    prenex,
+    standardize_apart,
+    to_nnf,
+    unate_to_monotone,
+)
+
+
+def worlds_over(domain, predicates):
+    """All worlds over unary/binary predicates for semantic equivalence checks."""
+    tuples = []
+    for name, arity in predicates:
+        for values in itertools.product(domain, repeat=arity):
+            tuples.append((name, values))
+    for bits in itertools.product((False, True), repeat=len(tuples)):
+        yield frozenset(t for t, b in zip(tuples, bits) if b)
+
+
+def equivalent(f, g, domain=("a", "b"), predicates=(("R", 1), ("S", 2), ("T", 1))):
+    return all(
+        satisfies(w, domain, f) == satisfies(w, domain, g)
+        for w in worlds_over(domain, predicates)
+    )
+
+
+def test_nnf_pushes_negation_to_atoms():
+    f = to_nnf(parse("~(R(x) & S(x,y))").substitute({}))
+    assert str(f) == "~R(x) | ~S(x, y)"
+
+
+def test_nnf_double_negation():
+    f = to_nnf(parse("~(~(exists x. R(x)))"))
+    assert str(f) == "exists x. R(x)"
+
+
+def test_nnf_flips_quantifiers():
+    f = to_nnf(parse("~(forall x. R(x))"))
+    assert str(f) == "exists x. ~R(x)"
+
+
+def test_nnf_preserves_semantics():
+    f = parse("~(forall x. (R(x) -> exists y. S(x,y)))")
+    assert equivalent(f, to_nnf(f))
+
+
+def test_dual_of_h0():
+    h0 = parse("forall x. forall y. (R(x) | S(x,y) | T(y))")
+    d = dual(h0)
+    assert str(d) == "exists x. (exists y. (R(x) & S(x, y) & T(y)))"
+
+
+def test_dual_is_involution():
+    f = parse("exists x. (R(x) & (forall y. S(x,y)))")
+    assert dual(dual(f)) == f
+
+
+def test_standardize_apart_unique_binders():
+    f = parse("(exists x. R(x)) & (exists x. T(x))")
+    g = standardize_apart(f)
+    binders = [n.var for n in g.walk() if hasattr(n, "var")]
+    assert len(binders) == len(set(binders))
+    assert equivalent(f, g)
+
+
+def test_prenex_prefix_and_equivalence():
+    f = parse("forall x. (R(x) -> exists y. S(x,y))")
+    form = prenex(f)
+    assert form.prefix_kinds() == ("forall", "exists")
+    assert equivalent(f, form.to_formula())
+
+
+def test_prenex_existential_block():
+    f = parse("(exists x. R(x)) & (exists y. T(y))")
+    form = prenex(f)
+    assert set(form.prefix_kinds()) == {"exists"}
+    assert equivalent(f, form.to_formula())
+
+
+def test_polarity_map_mixed():
+    f = parse("forall x. ((R(x) -> S(x)) & (S(x) -> T(x)))")
+    polarity = polarity_map(f)
+    assert polarity["R"] == {-1}
+    assert polarity["S"] == {-1, +1}
+    assert polarity["T"] == {+1}
+
+
+def test_is_unate_paper_examples():
+    # The paper's unate example: R occurs only negated.
+    unate = parse("forall x. ((R(x) -> S(x)) & (R(x) -> T(x)))")
+    assert is_unate(unate)
+    # The paper's non-unate example: S occurs in both polarities.
+    not_unate = parse("forall x. ((R(x) -> S(x)) & (S(x) -> T(x)))")
+    assert not is_unate(not_unate)
+
+
+def test_monotone_implies_unate():
+    f = parse("exists x. exists y. (R(x) & S(x,y))")
+    assert is_monotone(f)
+    assert is_unate(f)
+
+
+def test_unate_to_monotone_renames_negated_symbols():
+    f = parse("forall x. forall y. (~S(x,y) | R(x))")
+    g = unate_to_monotone(f)
+    assert is_monotone(g)
+    assert "S" + COMPLEMENT_SUFFIX in g.relation_symbols()
+    assert "R" in g.relation_symbols()
+
+
+def test_unate_to_monotone_rejects_non_unate():
+    with pytest.raises(ValueError):
+        unate_to_monotone(parse("forall x. ((R(x) -> S(x)) & (S(x) -> T(x)))"))
+
+
+def test_nnf_constants():
+    assert str(to_nnf(parse("~(true)"))) == "false"
+    assert str(to_nnf(parse("~(false)"))) == "true"

@@ -1,0 +1,69 @@
+"""Unit tests for repro.workloads.generators."""
+
+from repro.workloads.generators import (
+    chain_join_tid,
+    figure1_database,
+    full_tid,
+    random_tid,
+    symmetric_database,
+)
+
+
+def test_figure1_shape():
+    db = figure1_database()
+    assert len(db.relations["R"]) == 3
+    assert len(db.relations["S"]) == 6
+    assert db.fact_count() == 9
+
+
+def test_figure1_custom_probabilities():
+    db = figure1_database(p=(0.1, 0.2, 0.3), q=(0.4,) * 6)
+    assert db.probability_of_fact("R", ("a1",)) == 0.1
+    assert db.probability_of_fact("S", ("a4", "b6")) == 0.4
+
+
+def test_figure1_rejects_wrong_lengths():
+    import pytest
+
+    with pytest.raises(ValueError):
+        figure1_database(p=(0.5,))
+
+
+def test_random_tid_deterministic():
+    a = random_tid(42, 3)
+    b = random_tid(42, 3)
+    assert list(a.facts()) == list(b.facts())
+
+
+def test_random_tid_respects_density_extremes():
+    empty = random_tid(1, 3, density=0.0)
+    assert empty.fact_count() == 0
+    full = random_tid(1, 3, density=1.1)
+    assert full.fact_count() == 3 + 9 + 3
+
+
+def test_random_tid_probability_range():
+    db = random_tid(2, 3, probability_range=(0.4, 0.6))
+    assert all(0.4 <= p <= 0.6 for _, _, p in db.facts())
+
+
+def test_random_tid_explicit_domain():
+    db = random_tid(3, 2, domain=("u", "v"))
+    assert db.domain() == ("u", "v")
+
+
+def test_full_tid_has_every_tuple():
+    db = full_tid(5, 2)
+    assert db.fact_count() == 2 + 4 + 2
+
+
+def test_symmetric_database_defaults():
+    db = symmetric_database(4)
+    assert db.relations["S"] == (2, 0.6)
+    assert db.domain_size == 4
+
+
+def test_chain_join_tid():
+    db = chain_join_tid(7, 2, length=3)
+    assert set(db.relations) == {"R0", "E1", "E2", "E3"}
+    assert len(db.relations["E2"]) == 4

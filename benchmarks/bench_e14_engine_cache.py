@@ -1,0 +1,158 @@
+"""E14 — engine sessions: content-addressed caching and batched execution.
+
+The session layer (`repro.engine`) targets the serving workload the
+ROADMAP aims at: the same queries arriving over and over against a
+database that changes rarely. Two measurements:
+
+* **cold vs warm** — a workload of mixed safe/hard queries evaluated
+  twice through one `EngineSession`; the second pass is pure cache
+  (fingerprint + LRU lookup) and must be ≥ 5× faster (in practice it is
+  orders of magnitude faster);
+* **sequential vs batch** — a repeated-traffic workload evaluated (a) by
+  the plain uncached façade, one call at a time, and (b) by one
+  `query_batch` call whose workers share the cache and deduplicate
+  in-flight work, so each distinct query is computed exactly once.
+
+Cached answers are asserted numerically identical to uncached ones.
+
+Run directly for tables (``--quick`` for the CI smoke variant), or via
+pytest for the assertions.
+"""
+
+import argparse
+import time
+
+from repro import EngineSession, Method, ProbabilisticDatabase
+from repro.workloads.generators import full_tid
+
+from tables import print_table
+
+WORKLOAD = (
+    "R(x), S(x,y), T(y)",       # #P-hard H0: grounded DPLL
+    "R(x), S(x,y)",             # safe: lifted
+    "S(x,y), T(y)",             # safe: lifted
+    "R(x), S(x,y) | T(u), S(u,v)",  # UCQ
+)
+
+
+def cold_warm_times(domain_size=5, warm_rounds=3):
+    """One session, same workload twice; returns per-pass times + agreement."""
+    session = EngineSession(full_tid(41, domain_size), seed=0)
+    start = time.perf_counter()
+    cold = [session.query(q) for q in WORKLOAD]
+    cold_time = time.perf_counter() - start
+    start = time.perf_counter()
+    for _ in range(warm_rounds):
+        warm = [session.query(q) for q in WORKLOAD]
+    warm_time = (time.perf_counter() - start) / warm_rounds
+    identical = all(
+        c.probability == w.probability for c, w in zip(cold, warm)
+    ) and all(w.stats.cache_hit for w in warm)
+    return cold_time, warm_time, identical, session
+
+
+def batch_vs_sequential(domain_size=5, repeat=4):
+    """Repeated traffic: plain uncached loop vs one cache-sharing batch."""
+    queries = list(WORKLOAD) * repeat
+    uncached = ProbabilisticDatabase(tid=full_tid(41, domain_size), seed=0)
+    start = time.perf_counter()
+    sequential = [uncached.probability(q) for q in queries]
+    sequential_time = time.perf_counter() - start
+
+    session = EngineSession(full_tid(41, domain_size), seed=0)
+    start = time.perf_counter()
+    batched = session.query_batch(queries, executor="thread")
+    batch_time = time.perf_counter() - start
+
+    identical = [a.probability for a in batched] == [
+        a.probability for a in sequential
+    ]
+    return sequential_time, batch_time, identical, session
+
+
+# -- assertions (tier-1 / CI) -------------------------------------------------
+
+
+def test_e14_warm_cache_speedup():
+    cold_time, warm_time, identical, _ = cold_warm_times(domain_size=4)
+    assert identical
+    assert cold_time >= 5 * warm_time, (
+        f"warm pass not ≥5× faster: cold={cold_time:.4f}s warm={warm_time:.4f}s"
+    )
+
+
+def test_e14_batch_beats_sequential():
+    sequential_time, batch_time, identical, session = batch_vs_sequential(
+        domain_size=4, repeat=4
+    )
+    assert identical
+    assert batch_time < sequential_time, (
+        f"batch {batch_time:.4f}s not faster than sequential "
+        f"{sequential_time:.4f}s"
+    )
+    # each distinct query computed once, the rest served from the cache
+    assert session.stats.cache_misses == len(WORKLOAD)
+
+
+def test_e14_cached_equals_uncached():
+    session = EngineSession(full_tid(41, 4), seed=0)
+    reference = ProbabilisticDatabase(tid=full_tid(41, 4), seed=0)
+    for query in WORKLOAD:
+        cold = session.query(query)
+        warm = session.query(query)
+        assert warm.probability == cold.probability
+        assert cold.probability == reference.probability(query).probability
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true", help="small instances (CI smoke run)"
+    )
+    args = parser.parse_args()
+    domain_size = 4 if args.quick else 5
+    repeat = 3 if args.quick else 6
+
+    cold_time, warm_time, identical, session = cold_warm_times(domain_size)
+    print_table(
+        f"E14a: cold vs warm (domain n={domain_size}, {len(WORKLOAD)} queries)",
+        ["pass", "time", "speedup", "identical"],
+        [
+            ("cold (first evaluation)", f"{cold_time * 1e3:.1f}ms", "1×", "-"),
+            (
+                "warm (content-addressed cache)",
+                f"{warm_time * 1e3:.3f}ms",
+                f"{cold_time / warm_time:.0f}×",
+                str(identical),
+            ),
+        ],
+    )
+    print(session.report())
+    print()
+
+    sequential_time, batch_time, identical, session = batch_vs_sequential(
+        domain_size, repeat
+    )
+    print_table(
+        f"E14b: repeated traffic ({len(WORKLOAD)} queries × {repeat})",
+        ["strategy", "time", "speedup", "identical"],
+        [
+            (
+                "sequential, uncached façade",
+                f"{sequential_time * 1e3:.1f}ms",
+                "1×",
+                "-",
+            ),
+            (
+                "query_batch (threads + shared cache)",
+                f"{batch_time * 1e3:.1f}ms",
+                f"{sequential_time / batch_time:.1f}×",
+                str(identical),
+            ),
+        ],
+    )
+    print(session.report())
+
+
+if __name__ == "__main__":
+    main()

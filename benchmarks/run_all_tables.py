@@ -29,6 +29,7 @@ MODULES = [
     "bench_e11_mln",
     "bench_e12_wmc_table",
     "bench_e13_approximation",
+    "bench_e14_engine_cache",
 ]
 
 

@@ -19,6 +19,7 @@ Quickstart::
 
 from .core.pdb import Method, ProbabilisticDatabase, QueryAnswer
 from .core.tid import TupleIndependentDatabase
+from .engine.session import EngineSession
 from .lifted.engine import LiftedEngine, lifted_probability
 from .lifted.errors import NonLiftableError, UnsupportedQueryError
 from .lifted.safety import Complexity, decide_safety
@@ -34,6 +35,7 @@ __all__ = [
     "ProbabilisticDatabase",
     "QueryAnswer",
     "TupleIndependentDatabase",
+    "EngineSession",
     "LiftedEngine",
     "lifted_probability",
     "NonLiftableError",

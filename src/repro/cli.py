@@ -3,6 +3,7 @@
 Subcommands:
 
 * ``query``  — load relations from CSV files and evaluate a Boolean query;
+* ``batch``  — evaluate many queries through a caching ``EngineSession``;
 * ``safety`` — decide the dichotomy side of a CQ/UCQ from syntax alone;
 * ``demo``   — run the built-in Figure 1 demonstration.
 
@@ -10,6 +11,8 @@ Examples::
 
     python -m repro query data/R.csv data/S.csv -q "R(x), S(x,y)"
     python -m repro query data/*.csv -q "forall x. forall y. (S(x,y) -> R(x))"
+    python -m repro query data/*.csv -q "R(x), S(x,y)" --stats --seed 7
+    python -m repro batch data/*.csv -q "R(x), S(x,y)" -q "T(y), S(x,y)" --stats
     python -m repro safety -q "R(x), S(x,y), T(y)"
     python -m repro demo
 """
@@ -21,6 +24,7 @@ import sys
 from typing import Optional, Sequence
 
 from .core.pdb import Method, ProbabilisticDatabase
+from .engine.session import EngineSession
 from .lifted.safety import decide_safety
 from .logic.cq import parse_cq, parse_ucq
 from .relational.io import load_tid
@@ -48,6 +52,65 @@ def _build_parser() -> argparse.ArgumentParser:
     query.add_argument(
         "--explain", action="store_true", help="print the derivation trace"
     )
+    query.add_argument(
+        "--stats",
+        action="store_true",
+        help="print per-stage wall times (parse / lineage / compile / count)",
+    )
+    query.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="RNG seed for the approximate routes (reproducible estimates)",
+    )
+
+    batch = sub.add_parser(
+        "batch",
+        help="evaluate many queries through a caching engine session",
+    )
+    batch.add_argument("files", nargs="+", help="CSV files, one relation each")
+    batch.add_argument(
+        "-q",
+        "--query",
+        action="append",
+        required=True,
+        dest="queries",
+        help="query text (repeatable)",
+    )
+    batch.add_argument(
+        "-m",
+        "--method",
+        default="auto",
+        choices=[m.value for m in Method],
+        help="inference route (default: auto)",
+    )
+    batch.add_argument(
+        "--executor",
+        default="thread",
+        choices=["serial", "thread", "process"],
+        help="batch execution strategy (default: thread)",
+    )
+    batch.add_argument(
+        "--workers", type=int, default=None, help="worker count (default: auto)"
+    )
+    batch.add_argument(
+        "--repeat",
+        type=int,
+        default=1,
+        help="evaluate the query list N times (repeats hit the cache)",
+    )
+    batch.add_argument(
+        "--cache-size", type=int, default=256, help="session cache entries"
+    )
+    batch.add_argument(
+        "--stats", action="store_true", help="print the session report"
+    )
+    batch.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="RNG seed for the approximate routes (reproducible estimates)",
+    )
 
     safety = sub.add_parser("safety", help="decide PTIME vs #P-hard from syntax")
     safety.add_argument("-q", "--query", required=True, help="CQ or UCQ shorthand")
@@ -57,7 +120,7 @@ def _build_parser() -> argparse.ArgumentParser:
 
 
 def _cmd_query(args: argparse.Namespace) -> int:
-    pdb = ProbabilisticDatabase(tid=load_tid(args.files))
+    pdb = ProbabilisticDatabase(tid=load_tid(args.files), seed=args.seed)
     if args.explain:
         print(pdb.explain(args.query))
         return 0
@@ -67,6 +130,33 @@ def _cmd_query(args: argparse.Namespace) -> int:
     print(f"exact       : {answer.exact}")
     if answer.detail:
         print(f"detail      : {answer.detail}")
+    if args.stats and answer.stats is not None:
+        print(f"stage times : {answer.stats.summary()}")
+    return 0
+
+
+def _cmd_batch(args: argparse.Namespace) -> int:
+    if args.repeat < 1:
+        print("--repeat must be at least 1", file=sys.stderr)
+        return 2
+    if args.cache_size < 1:
+        print("--cache-size must be at least 1", file=sys.stderr)
+        return 2
+    session = EngineSession(
+        load_tid(args.files), cache_size=args.cache_size, seed=args.seed
+    )
+    queries = list(args.queries) * args.repeat
+    answers = session.query_batch(
+        queries,
+        Method(args.method),
+        executor=args.executor,
+        max_workers=args.workers,
+    )
+    for query, answer in zip(queries, answers):
+        served = "cached" if answer.stats and answer.stats.cache_hit else answer.method.value
+        print(f"P({query}) = {answer.probability:.10g}  [{served}]")
+    if args.stats:
+        print(session.report())
     return 0
 
 
@@ -99,6 +189,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     handlers = {
         "query": _cmd_query,
+        "batch": _cmd_batch,
         "safety": _cmd_safety,
         "demo": _cmd_demo,
     }

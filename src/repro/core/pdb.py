@@ -12,8 +12,17 @@ in decreasing order of asymptotic quality, mirroring the paper's narrative:
 4. **karp-luby** — the DNF FPRAS, when the lineage is a positive DNF;
 5. **monte-carlo** — naive sampling with an (ε, δ) additive guarantee.
 
-Each answer records which route fired and carries the lifted rule trace or
-the approximation certificate.
+Each answer records which route fired, carries the lifted rule trace or the
+approximation certificate, and a :class:`~repro.engine.stats.QueryStats`
+with per-stage wall-times (parse / lineage / compile / count) so that
+``explain()`` output is uniform across all six routes.
+
+The approximate routes draw from ``random.Random(self.seed)``: with a seed
+set, repeated evaluations of the same query return identical estimates.
+
+For memoization across repeated queries, wrap the database in a
+:class:`repro.engine.EngineSession`; the ``lineage_factory`` hook below is
+how the session shares its content-addressed lineage cache with dispatch.
 """
 
 from __future__ import annotations
@@ -21,9 +30,10 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Iterable, Optional, Sequence, Union
+from typing import Callable, Iterable, Optional, Sequence, Union
 
 from ..booleans.forms import FormSizeExceeded, to_dnf
+from ..engine.stats import QueryStats
 from ..lifted.engine import LiftedEngine, RuleApplication, lifted_probability
 from ..lifted.errors import NonLiftableError, UnsupportedQueryError
 from ..lineage.build import (
@@ -50,6 +60,7 @@ from ..wmc.sampling import monte_carlo_wmc
 from .tid import TupleIndependentDatabase
 
 Query = Union[str, Formula, ConjunctiveQuery, UnionOfConjunctiveQueries]
+LineageFactory = Callable[[object], Lineage]
 
 
 class Method(Enum):
@@ -73,6 +84,7 @@ class QueryAnswer:
     exact: bool
     detail: str = ""
     lifted_trace: tuple[RuleApplication, ...] = ()
+    stats: Optional[QueryStats] = None
 
     def __float__(self) -> float:
         return self.probability
@@ -119,61 +131,113 @@ class ProbabilisticDatabase:
             return parse_ucq(text)
         return parse_cq(text)
 
+    def rng(self) -> random.Random:
+        """A fresh generator for the approximate routes.
+
+        Seeded from ``self.seed`` so that, with a seed set, every evaluation
+        of the same query draws the same sample stream and the Karp–Luby /
+        Monte Carlo estimates are reproducible.
+        """
+        return random.Random(self.seed)
+
     # -- inference routes ---------------------------------------------------------
 
     def probability(
-        self, query: Query, method: Method = Method.AUTO
+        self,
+        query: Query,
+        method: Method = Method.AUTO,
+        *,
+        stats: Optional[QueryStats] = None,
+        lineage_factory: Optional[LineageFactory] = None,
     ) -> QueryAnswer:
-        """Evaluate a Boolean query; see the module docstring for routing."""
-        parsed = self.parse_query(query)
+        """Evaluate a Boolean query; see the module docstring for routing.
+
+        *stats*, when given, accumulates stage timings into an existing
+        record (the engine session passes one that already holds cache
+        lookup time); otherwise a fresh one is created. *lineage_factory*
+        overrides how routes obtain the grounded lineage — the session uses
+        it to serve lineages from its content-addressed cache.
+        """
+        stats = stats if stats is not None else QueryStats()
+        with stats.stage("parse"):
+            parsed = self.parse_query(query)
         if isinstance(parsed, Formula) and parsed.free_variables():
             raise ValueError(
                 "probability() takes Boolean queries; use answers() for "
                 "queries with free variables"
             )
+        answer = self._dispatch(
+            parsed, method, stats=stats, lineage_factory=lineage_factory
+        )
+        stats.route = answer.method.value
+        answer.stats = stats
+        return answer
+
+    def _dispatch(
+        self,
+        parsed,
+        method: Method,
+        *,
+        stats: Optional[QueryStats] = None,
+        lineage_factory: Optional[LineageFactory] = None,
+    ) -> QueryAnswer:
+        stats = stats if stats is not None else QueryStats()
         if method is Method.AUTO:
-            return self._auto(parsed)
+            return self._auto(parsed, stats=stats, lineage_factory=lineage_factory)
         if method is Method.LIFTED:
-            return self._lifted(parsed)
+            return self._lifted(parsed, stats=stats)
         if method is Method.SAFE_PLAN:
-            return self._safe_plan(parsed)
+            return self._safe_plan(parsed, stats=stats)
         if method is Method.DPLL:
-            return self._dpll(parsed)
+            return self._dpll(parsed, stats=stats, lineage_factory=lineage_factory)
         if method is Method.KARP_LUBY:
-            return self._karp_luby(parsed)
+            return self._karp_luby(
+                parsed, stats=stats, lineage_factory=lineage_factory
+            )
         if method is Method.MONTE_CARLO:
-            return self._monte_carlo(parsed)
+            return self._monte_carlo(
+                parsed, stats=stats, lineage_factory=lineage_factory
+            )
         if method is Method.BRUTE_FORCE:
-            return self._brute(parsed)
+            return self._brute(parsed, stats=stats)
         raise ValueError(f"unknown method {method}")
 
-    def _auto(self, parsed) -> QueryAnswer:
+    def _auto(
+        self,
+        parsed,
+        *,
+        stats: Optional[QueryStats] = None,
+        lineage_factory: Optional[LineageFactory] = None,
+    ) -> QueryAnswer:
+        stats = stats if stats is not None else QueryStats()
         try:
-            return self._lifted(parsed)
+            return self._lifted(parsed, stats=stats)
         except (NonLiftableError, UnsupportedQueryError) as error:
             blocking = str(getattr(error, "subquery", "") or error)
-        lineage = self._lineage(parsed)
+        lineage = self._get_lineage(parsed, None, lineage_factory, stats)
         if lineage.variable_count <= self.exact_lineage_limit:
-            answer = self._dpll(parsed, lineage)
+            answer = self._dpll(parsed, lineage, stats=stats)
             answer.detail += f" (lifted failed on: {blocking})"
             return answer
         try:
-            answer = self._karp_luby(parsed, lineage)
+            answer = self._karp_luby(parsed, lineage, stats=stats)
             answer.detail += f" (lifted failed on: {blocking})"
             return answer
         except FormSizeExceeded:
-            answer = self._monte_carlo(parsed, lineage)
+            answer = self._monte_carlo(parsed, lineage, stats=stats)
             answer.detail += f" (lifted failed on: {blocking})"
             return answer
 
-    def _lifted(self, parsed) -> QueryAnswer:
-        if isinstance(parsed, (ConjunctiveQuery, UnionOfConjunctiveQueries)):
-            engine = LiftedEngine(self.tid, record_trace=True)
-            probability = engine.probability(parsed)
-            trace = tuple(engine.trace)
-        else:
-            probability = lifted_probability(parsed, self.tid)
-            trace = ()
+    def _lifted(self, parsed, *, stats: Optional[QueryStats] = None) -> QueryAnswer:
+        stats = stats if stats is not None else QueryStats()
+        with stats.stage("count"):
+            if isinstance(parsed, (ConjunctiveQuery, UnionOfConjunctiveQueries)):
+                engine = LiftedEngine(self.tid, record_trace=True)
+                probability = engine.probability(parsed)
+                trace = tuple(engine.trace)
+            else:
+                probability = lifted_probability(parsed, self.tid)
+                trace = ()
         return QueryAnswer(
             probability,
             Method.LIFTED,
@@ -182,11 +246,14 @@ class ProbabilisticDatabase:
             lifted_trace=trace,
         )
 
-    def _safe_plan(self, parsed) -> QueryAnswer:
+    def _safe_plan(self, parsed, *, stats: Optional[QueryStats] = None) -> QueryAnswer:
+        stats = stats if stats is not None else QueryStats()
         if not isinstance(parsed, ConjunctiveQuery):
             raise UnsafePlanError("safe plans apply to conjunctive queries")
-        plan = safe_plan(parsed)
-        probability = execute_boolean(project_boolean(plan), self.tid)
+        with stats.stage("compile"):
+            plan = safe_plan(parsed)
+        with stats.stage("count"):
+            probability = execute_boolean(project_boolean(plan), self.tid)
         return QueryAnswer(
             probability,
             Method.SAFE_PLAN,
@@ -201,10 +268,31 @@ class ProbabilisticDatabase:
             return lineage_of_ucq(parsed, self.tid)
         return lineage_of_sentence(parsed, self.tid)
 
-    def _dpll(self, parsed, lineage: Optional[Lineage] = None) -> QueryAnswer:
-        lineage = lineage if lineage is not None else self._lineage(parsed)
+    def _get_lineage(
+        self,
+        parsed,
+        lineage: Optional[Lineage],
+        factory: Optional[LineageFactory],
+        stats: QueryStats,
+    ) -> Lineage:
+        if lineage is not None:
+            return lineage
+        with stats.stage("lineage"):
+            return factory(parsed) if factory is not None else self._lineage(parsed)
+
+    def _dpll(
+        self,
+        parsed,
+        lineage: Optional[Lineage] = None,
+        *,
+        stats: Optional[QueryStats] = None,
+        lineage_factory: Optional[LineageFactory] = None,
+    ) -> QueryAnswer:
+        stats = stats if stats is not None else QueryStats()
+        lineage = self._get_lineage(parsed, lineage, lineage_factory, stats)
         counter = DPLLCounter()
-        result = counter.run(lineage.expr, lineage.probabilities())
+        with stats.stage("count"):
+            result = counter.run(lineage.expr, lineage.probabilities())
         return QueryAnswer(
             result.probability,
             Method.DPLL,
@@ -216,17 +304,26 @@ class ProbabilisticDatabase:
             ),
         )
 
-    def _karp_luby(self, parsed, lineage: Optional[Lineage] = None) -> QueryAnswer:
-        lineage = lineage if lineage is not None else self._lineage(parsed)
-        clauses = to_dnf(lineage.expr)
-        rng = random.Random(self.seed)
-        estimate = karp_luby(
-            clauses,
-            lineage.probabilities(),
-            epsilon=self.mc_epsilon,
-            delta=self.mc_delta,
-            rng=rng,
-        )
+    def _karp_luby(
+        self,
+        parsed,
+        lineage: Optional[Lineage] = None,
+        *,
+        stats: Optional[QueryStats] = None,
+        lineage_factory: Optional[LineageFactory] = None,
+    ) -> QueryAnswer:
+        stats = stats if stats is not None else QueryStats()
+        lineage = self._get_lineage(parsed, lineage, lineage_factory, stats)
+        with stats.stage("compile"):
+            clauses = to_dnf(lineage.expr)
+        with stats.stage("count"):
+            estimate = karp_luby(
+                clauses,
+                lineage.probabilities(),
+                epsilon=self.mc_epsilon,
+                delta=self.mc_delta,
+                rng=self.rng(),
+            )
         return QueryAnswer(
             estimate.estimate,
             Method.KARP_LUBY,
@@ -237,16 +334,24 @@ class ProbabilisticDatabase:
             ),
         )
 
-    def _monte_carlo(self, parsed, lineage: Optional[Lineage] = None) -> QueryAnswer:
-        lineage = lineage if lineage is not None else self._lineage(parsed)
-        rng = random.Random(self.seed)
-        estimate = monte_carlo_wmc(
-            lineage.expr,
-            lineage.probabilities(),
-            epsilon=self.mc_epsilon,
-            delta=self.mc_delta,
-            rng=rng,
-        )
+    def _monte_carlo(
+        self,
+        parsed,
+        lineage: Optional[Lineage] = None,
+        *,
+        stats: Optional[QueryStats] = None,
+        lineage_factory: Optional[LineageFactory] = None,
+    ) -> QueryAnswer:
+        stats = stats if stats is not None else QueryStats()
+        lineage = self._get_lineage(parsed, lineage, lineage_factory, stats)
+        with stats.stage("count"):
+            estimate = monte_carlo_wmc(
+                lineage.expr,
+                lineage.probabilities(),
+                epsilon=self.mc_epsilon,
+                delta=self.mc_delta,
+                rng=self.rng(),
+            )
         return QueryAnswer(
             estimate.estimate,
             Method.MONTE_CARLO,
@@ -257,12 +362,14 @@ class ProbabilisticDatabase:
             ),
         )
 
-    def _brute(self, parsed) -> QueryAnswer:
+    def _brute(self, parsed, *, stats: Optional[QueryStats] = None) -> QueryAnswer:
+        stats = stats if stats is not None else QueryStats()
         if isinstance(parsed, (ConjunctiveQuery, UnionOfConjunctiveQueries)):
             sentence = parsed.to_formula()
         else:
             sentence = parsed
-        probability = self.tid.brute_force_probability(sentence)
+        with stats.stage("count"):
+            probability = self.tid.brute_force_probability(sentence)
         return QueryAnswer(
             probability,
             Method.BRUTE_FORCE,
@@ -280,23 +387,28 @@ class ProbabilisticDatabase:
         Each answer tuple's marginal is computed from its own lineage with
         the exact DPLL counter (the "intensional semantics" route).
         """
-        parsed = parse_cq(query) if isinstance(query, str) else query
+        shared = QueryStats(route=Method.DPLL.value)
+        with shared.stage("parse"):
+            parsed = parse_cq(query) if isinstance(query, str) else query
         head_vars = tuple(Var(h) if isinstance(h, str) else h for h in head)
         missing = set(head_vars) - parsed.variables
         if missing:
             names = ", ".join(sorted(v.name for v in missing))
             raise ValueError(f"head variables not in query: {names}")
-        lineages, pool = answer_lineages(parsed, head_vars, self.tid)
+        with shared.stage("lineage"):
+            lineages, pool = answer_lineages(parsed, head_vars, self.tid)
         probabilities = pool.probability_map()
         counter = DPLLCounter()
         out: dict[tuple, QueryAnswer] = {}
         for values, expr in sorted(lineages.items(), key=lambda kv: repr(kv[0])):
-            result = counter.run(expr, probabilities)
+            with shared.stage("count"):
+                result = counter.run(expr, probabilities)
             out[values] = QueryAnswer(
                 result.probability,
                 Method.DPLL,
                 exact=True,
                 detail="per-answer lineage",
+                stats=shared,
             )
         return out
 
@@ -346,12 +458,24 @@ class ProbabilisticDatabase:
     def explain(self, query: Query) -> str:
         """A human-readable account of how the query would be evaluated."""
         answer = self.probability(query)
-        lines = [
-            f"query method : {answer.method.value}",
-            f"probability  : {answer.probability:.10g}",
-            f"exact        : {answer.exact}",
-            f"detail       : {answer.detail}",
-        ]
-        for step in answer.lifted_trace:
-            lines.append(f"  {step}")
-        return "\n".join(lines)
+        return explain_answer(query, answer)
+
+
+def explain_answer(query: Query, answer: QueryAnswer) -> str:
+    """Format a :class:`QueryAnswer` as the uniform ``explain()`` report.
+
+    The same renderer serves every route and both the cold and cached
+    paths, so ``--explain`` output has one shape engine-wide.
+    """
+    lines = [
+        f"query method : {answer.method.value}",
+        f"probability  : {answer.probability:.10g}",
+        f"exact        : {answer.exact}",
+        f"detail       : {answer.detail}",
+    ]
+    if answer.stats is not None:
+        lines.append(f"cache hit    : {answer.stats.cache_hit}")
+        lines.append(f"stage times  : {answer.stats.summary()}")
+    for step in answer.lifted_trace:
+        lines.append(f"  {step}")
+    return "\n".join(lines)

@@ -12,6 +12,7 @@ small inputs.
 
 from __future__ import annotations
 
+import hashlib
 import itertools
 import math
 from dataclasses import dataclass, field
@@ -29,6 +30,10 @@ class TupleIndependentDatabase:
 
     relations: dict[str, Relation] = field(default_factory=dict)
     explicit_domain: Optional[frozenset] = None
+    _version: int = field(default=0, init=False, repr=False, compare=False)
+    _fingerprint_cache: Optional[tuple] = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     # -- construction --------------------------------------------------------
 
@@ -41,6 +46,7 @@ class TupleIndependentDatabase:
             return existing
         relation = Relation(name, tuple(attributes))
         self.relations[name] = relation
+        self.touch()
         return relation
 
     def add_fact(self, name: str, values: Iterable, probability: float = 1.0) -> None:
@@ -50,6 +56,7 @@ class TupleIndependentDatabase:
             attributes = tuple(f"a{i}" for i in range(len(values)))
             self.add_relation(name, attributes)
         self.relations[name].add(values, probability)
+        self.touch()
 
     @staticmethod
     def from_facts(
@@ -89,6 +96,44 @@ class TupleIndependentDatabase:
 
     def fact_count(self) -> int:
         return sum(len(r) for r in self.relations.values())
+
+    # -- change tracking / fingerprinting -------------------------------------
+
+    @property
+    def version(self) -> int:
+        """A counter bumped by every mutation through the TID's own methods."""
+        return self._version
+
+    def touch(self) -> None:
+        """Record an out-of-band mutation (e.g. a direct ``Relation.add``).
+
+        Mutations performed through :meth:`add_relation` / :meth:`add_fact`
+        call this automatically; code that reaches into ``tid.relations``
+        and mutates a relation directly must call it by hand so that caches
+        keyed on :meth:`fingerprint` notice the change.
+        """
+        self._version += 1
+
+    def fingerprint(self) -> str:
+        """A content hash of the database: facts, probabilities and domain.
+
+        Two TIDs with the same stored tuples, probabilities and explicit
+        domain share a fingerprint, even across :meth:`copy` — this is the
+        content-addressed key used by :class:`repro.engine.EngineSession`
+        to memoize lineage and query answers. The hash is recomputed only
+        when :attr:`version` (or the explicit domain) changes, so repeated
+        calls on an unchanged database are O(1).
+        """
+        key = (self._version, self.explicit_domain)
+        if self._fingerprint_cache is None or self._fingerprint_cache[0] != key:
+            digest = hashlib.blake2b(digest_size=16)
+            for name, values, prob in self.facts():
+                digest.update(repr((name, values, prob)).encode())
+            if self.explicit_domain is not None:
+                digest.update(b"|domain|")
+                digest.update(repr(sorted(self.explicit_domain, key=repr)).encode())
+            self._fingerprint_cache = (key, digest.hexdigest())
+        return self._fingerprint_cache[1]
 
     def domain(self) -> tuple:
         """The active domain (or the explicit one when set), sorted."""

@@ -1,0 +1,133 @@
+"""A thread-safe LRU cache with content-addressed keys.
+
+The engine memoizes every intermediate artifact of query evaluation —
+parsed queries, lineage expressions, compiled circuits and final answers —
+in one bounded LRU map. Keys are tuples
+``(kind, tid_fingerprint, query_fingerprint, ...)`` where both fingerprints
+are content hashes: mutating the database changes its fingerprint (see
+:meth:`repro.core.tid.TupleIndependentDatabase.fingerprint`), which makes
+every entry derived from the old contents unreachable — invalidation by
+construction, with stale entries aging out through normal LRU eviction.
+
+This module imports nothing from the rest of the package so that it can be
+loaded from ``repro.engine``'s package init without touching ``repro.core``
+(which itself imports :mod:`repro.engine.stats`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Hashable, Iterable, Optional
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/eviction counters for one :class:`LRUCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    puts: int = 0
+    evictions: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def __str__(self) -> str:
+        return (
+            f"{self.hits} hits / {self.misses} misses "
+            f"({self.hit_rate:.0%}), {self.puts} puts, "
+            f"{self.evictions} evictions"
+        )
+
+
+class LRUCache:
+    """A bounded mapping with least-recently-used eviction.
+
+    All operations take an internal re-entrant lock, so the cache may be
+    shared freely across the worker threads of
+    :meth:`repro.engine.session.EngineSession.query_batch`.
+    """
+
+    def __init__(self, maxsize: int = 256):
+        if maxsize < 1:
+            raise ValueError("maxsize must be at least 1")
+        self.maxsize = maxsize
+        self._data: OrderedDict[Hashable, Any] = OrderedDict()
+        self._lock = threading.RLock()
+        self.stats = CacheStats()
+
+    def get(self, key: Hashable, default: Any = None) -> Any:
+        """Look up *key*, refreshing its recency; counts a hit or miss."""
+        with self._lock:
+            try:
+                value = self._data[key]
+            except KeyError:
+                self.stats.misses += 1
+                return default
+            self._data.move_to_end(key)
+            self.stats.hits += 1
+            return value
+
+    def put(self, key: Hashable, value: Any) -> None:
+        """Insert (or refresh) an entry, evicting the LRU entry when full."""
+        with self._lock:
+            if key in self._data:
+                self._data.move_to_end(key)
+            self._data[key] = value
+            self.stats.puts += 1
+            while len(self._data) > self.maxsize:
+                self._data.popitem(last=False)
+                self.stats.evictions += 1
+
+    def clear(self) -> None:
+        with self._lock:
+            self._data.clear()
+
+    def keys(self) -> list:
+        """A snapshot of the current keys, LRU first."""
+        with self._lock:
+            return list(self._data)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._data)
+
+    def __contains__(self, key: Hashable) -> bool:
+        """Membership test without touching recency or the counters."""
+        with self._lock:
+            return key in self._data
+
+
+def _digest(parts: Iterable[str]) -> str:
+    h = hashlib.blake2b(digest_size=16)
+    for part in parts:
+        h.update(part.encode())
+        h.update(b"\x00")
+    return h.hexdigest()
+
+
+def query_fingerprint(query: Any, head: Optional[tuple] = None) -> str:
+    """A content hash of a query in any of the façade's accepted forms.
+
+    Strings are hashed after whitespace normalisation, so ``"R(x),S(x,y)"``
+    and ``"R(x), S(x,y)"`` share an entry; parsed objects (``Formula``,
+    ``ConjunctiveQuery``, ...) hash their type and canonical string form.
+    *head* distinguishes non-Boolean uses of the same query text.
+    """
+    if isinstance(query, str):
+        parts = ["str", " ".join(query.split())]
+    else:
+        parts = ["obj", type(query).__name__, str(query)]
+    if head is not None:
+        parts.append(repr(tuple(head)))
+    return _digest(parts)
+
+
+def tid_fingerprint(tid: Any) -> str:
+    """The database content hash (see ``TupleIndependentDatabase.fingerprint``)."""
+    return tid.fingerprint()

@@ -1,0 +1,146 @@
+"""Concurrent batch execution: ordering, dedup, thread-safety, executors."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import EngineSession, Method, ProbabilisticDatabase
+from repro.core.tid import TupleIndependentDatabase
+from repro.workloads.generators import full_tid
+
+QUERY_FAMILY = (
+    "R(x)",
+    "R(x), S(x,y)",
+    "S(x,y), T(y)",
+    "R(x), S(x,y), T(y)",
+    "R(x), S(x,y) | T(u), S(u,v)",
+)
+
+
+def _family_db() -> TupleIndependentDatabase:
+    db = TupleIndependentDatabase()
+    db.add_fact("R", ("a",), 0.5)
+    db.add_fact("R", ("b",), 0.25)
+    db.add_fact("S", ("a", "a"), 0.8)
+    db.add_fact("S", ("a", "b"), 0.3)
+    db.add_fact("S", ("b", "b"), 0.9)
+    db.add_fact("T", ("a",), 0.6)
+    db.add_fact("T", ("b",), 0.1)
+    return db
+
+
+def test_batch_preserves_input_order():
+    session = EngineSession(_family_db(), seed=3)
+    queries = list(QUERY_FAMILY) + list(reversed(QUERY_FAMILY))
+    answers = session.query_batch(queries)
+    serial = [
+        ProbabilisticDatabase(tid=_family_db(), seed=3).probability(q)
+        for q in queries
+    ]
+    assert [a.probability for a in answers] == [a.probability for a in serial]
+    assert [a.method for a in answers] == [a.method for a in serial]
+
+
+def test_batch_executors_agree():
+    queries = list(QUERY_FAMILY) * 2
+    results = {}
+    for executor in ("serial", "thread", "process"):
+        session = EngineSession(_family_db(), seed=3)
+        answers = session.query_batch(queries, executor=executor, max_workers=2)
+        results[executor] = [a.probability for a in answers]
+    assert results["serial"] == results["thread"] == results["process"]
+
+
+def test_inflight_dedup_computes_each_key_once():
+    session = EngineSession(full_tid(41, 4), seed=0)
+    answers = session.query_batch(
+        ["R(x), S(x,y), T(y)"] * 8, Method.DPLL, max_workers=8
+    )
+    assert len({a.probability for a in answers}) == 1
+    # one cold computation; the other seven were served as (shared) hits
+    assert session.stats.cache_misses == 1
+    assert session.stats.cache_hits == 7
+
+
+def test_batch_raises_on_bad_query():
+    session = EngineSession(_family_db())
+    with pytest.raises(Exception):
+        session.query_batch(["R(x), S(x,y)", "R(x,"])
+
+
+def test_batch_rejects_unknown_executor():
+    session = EngineSession(_family_db())
+    with pytest.raises(ValueError, match="unknown executor"):
+        session.query_batch(["R(x)"], executor="carrier-pigeon")
+
+
+def test_empty_batch():
+    session = EngineSession(_family_db())
+    assert session.query_batch([]) == []
+
+
+def test_process_batch_merges_into_cache():
+    session = EngineSession(_family_db(), seed=3)
+    session.query_batch(["R(x), S(x,y)"], executor="process", max_workers=1)
+    warm = session.query("R(x), S(x,y)")
+    assert warm.stats.cache_hit
+
+
+# -- hypothesis: thread-safety under generated workloads ----------------------
+
+
+@st.composite
+def workloads(draw):
+    """A small random TID plus a query mix with duplicates."""
+    domain = ("a", "b", "c")
+    facts = []
+    for name, arity in (("R", 1), ("S", 2), ("T", 1)):
+        rows = draw(
+            st.lists(
+                st.tuples(
+                    st.tuples(*[st.sampled_from(domain)] * arity),
+                    st.floats(min_value=0.05, max_value=0.95),
+                ),
+                min_size=1,
+                max_size=5,
+                unique_by=lambda row: row[0],
+            )
+        )
+        facts.extend((name, values, round(prob, 3)) for values, prob in rows)
+    queries = draw(
+        st.lists(st.sampled_from(QUERY_FAMILY), min_size=1, max_size=12)
+    )
+    return facts, queries
+
+
+@settings(max_examples=15, deadline=None)
+@given(workloads())
+def test_threaded_batch_matches_sequential_reference(workload):
+    facts, queries = workload
+    session = EngineSession(
+        TupleIndependentDatabase.from_facts(facts), seed=9, cache_size=64
+    )
+    answers = session.query_batch(queries, executor="thread", max_workers=4)
+    reference = ProbabilisticDatabase(
+        tid=TupleIndependentDatabase.from_facts(facts), seed=9
+    )
+    for query, answer in zip(queries, answers):
+        expected = reference.probability(query)
+        assert answer.probability == expected.probability
+        assert answer.method == expected.method
+    assert len(session.cache) <= 64
+
+
+@settings(max_examples=10, deadline=None)
+@given(workloads())
+def test_threaded_batch_is_internally_consistent(workload):
+    """Racing duplicates must all observe one value per (query, method)."""
+    facts, queries = workload
+    session = EngineSession(TupleIndependentDatabase.from_facts(facts), seed=9)
+    doubled = queries * 2
+    answers = session.query_batch(doubled, executor="thread", max_workers=8)
+    by_query: dict[str, set] = {}
+    for query, answer in zip(doubled, answers):
+        by_query.setdefault(query, set()).add(answer.probability)
+    for query, values in by_query.items():
+        assert len(values) == 1, f"divergent answers for {query}: {values}"

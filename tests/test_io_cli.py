@@ -128,3 +128,83 @@ def test_cli_safety(capsys):
 def test_cli_demo(capsys):
     assert main(["demo"]) == 0
     assert "Figure 1" in capsys.readouterr().out
+
+
+def test_cli_query_stats(csv_dir, capsys):
+    code = main(
+        [
+            "query",
+            str(csv_dir / "R.csv"),
+            str(csv_dir / "S.csv"),
+            "-q",
+            "R(x), S(x,y)",
+            "--stats",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "stage times" in out
+    assert "total=" in out
+
+
+def test_cli_query_seed_reproducible(csv_dir, capsys):
+    argv = [
+        "query",
+        str(csv_dir / "R.csv"),
+        str(csv_dir / "S.csv"),
+        "-q",
+        "R(x), S(x,y)",
+        "-m",
+        "karp-luby",
+        "--seed",
+        "42",
+    ]
+    assert main(argv) == 0
+    first = capsys.readouterr().out
+    assert main(argv) == 0
+    assert capsys.readouterr().out == first
+
+
+def test_cli_batch(csv_dir, capsys):
+    code = main(
+        [
+            "batch",
+            str(csv_dir / "R.csv"),
+            str(csv_dir / "S.csv"),
+            "-q",
+            "R(x), S(x,y)",
+            "-q",
+            "S(x,y)",
+            "--repeat",
+            "3",
+            "--stats",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert out.count("P(R(x), S(x,y))") == 3
+    assert "[cached]" in out
+    assert "answer cache" in out
+    assert "hit rate" in out
+
+
+def test_cli_batch_serial_executor(csv_dir, capsys):
+    code = main(
+        [
+            "batch",
+            str(csv_dir / "R.csv"),
+            "-q",
+            "R(x)",
+            "--executor",
+            "serial",
+        ]
+    )
+    assert code == 0
+    assert "P(R(x))" in capsys.readouterr().out
+
+
+def test_cli_batch_rejects_bad_repeat(csv_dir, capsys):
+    code = main(
+        ["batch", str(csv_dir / "R.csv"), "-q", "R(x)", "--repeat", "0"]
+    )
+    assert code == 2

@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Regenerate every experiment table (E1–E13) in one run.
+"""Regenerate every experiment table (E1–E15) in one run.
 
 The per-experiment benchmark modules each expose a ``main()`` that prints
 the paper-shaped series; this driver runs them all in order. EXPERIMENTS.md
@@ -30,6 +30,7 @@ MODULES = [
     "bench_e12_wmc_table",
     "bench_e13_approximation",
     "bench_e14_engine_cache",
+    "bench_e15_boolean_kernel",
 ]
 
 

@@ -1,15 +1,24 @@
 """Boolean expressions over integer-indexed variables.
 
 Lineages (Sec. 7 of the paper) are Boolean formulas whose variables stand for
-tuples of a TID. This module provides an immutable, structurally-hashed AST
-with light simplification at construction time:
+tuples of a TID. This module provides an immutable, *hash-consed* AST with
+light simplification at construction time:
 
 * ``BAnd``/``BOr`` are n-ary, flatten, deduplicate, sort their children into
   a canonical order and apply unit/complement laws;
 * ``BNot`` cancels double negation;
-* every node carries a precomputed structural key, so formulas that are
-  syntactically equal modulo child order compare and hash equal — this is the
-  cache key used by the DPLL model counter.
+* every construction goes through the unique table of
+  :data:`repro.booleans.kernel.DEFAULT_MANAGER`, so structurally equal
+  formulas are the **same object** with the same small integer id
+  (:attr:`BExpr.nid`) — equality is an identity check and cache keys are
+  ints, where the pre-kernel representation hashed O(|subtree|) nested
+  tuples;
+* every node caches its ``variables()`` frozenset, computed once at intern
+  time.
+
+The nested structural key of the old representation survives as
+:meth:`BExpr.key` for callers that need an order or a cross-generation
+comparison; it is built once per interned node from the children's keys.
 
 Variables are plain ints. The mapping from ints back to database tuples lives
 in :class:`repro.lineage.build.LineageResult`.
@@ -17,16 +26,25 @@ in :class:`repro.lineage.build.LineageResult`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Iterable, Iterator, Mapping
+
+from .kernel import DEFAULT_MANAGER
 
 
 class BExpr:
-    """Base class of Boolean expression nodes."""
+    """Base class of interned Boolean expression nodes.
 
-    __slots__ = ()
+    Instances are immutable by convention and unique per structure: do not
+    mutate the slots after construction, and always build nodes through the
+    public constructors so the unique table stays canonical.
+    """
 
+    __slots__ = ("nid", "_key", "_hash", "_vars")
+
+    nid: int
     _key: tuple
+    _hash: int
+    _vars: frozenset[int]
 
     def key(self) -> tuple:
         """A structural key: equal keys ⇔ equal expressions."""
@@ -41,6 +59,16 @@ class BExpr:
     def __invert__(self) -> "BExpr":
         return bnot(self)
 
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        # Structural fallback: only reachable for nodes from different
+        # kernel generations (see NodeManager.reset).
+        return type(other) is type(self) and other._key == self._key  # type: ignore[attr-defined]
+
+    def __hash__(self) -> int:
+        return self._hash
+
     def children(self) -> tuple["BExpr", ...]:
         return ()
 
@@ -50,16 +78,8 @@ class BExpr:
             yield from child.walk()
 
     def variables(self) -> frozenset[int]:
-        """The set of variable indices occurring in the expression."""
-        out: set[int] = set()
-        stack: list[BExpr] = [self]
-        while stack:
-            node = stack.pop()
-            if isinstance(node, BVar):
-                out.add(node.index)
-            else:
-                stack.extend(node.children())
-        return frozenset(out)
+        """The set of variable indices occurring in the expression (O(1))."""
+        return self._vars
 
     def node_count(self) -> int:
         """Number of AST nodes (duplicates counted per occurrence)."""
@@ -69,39 +89,58 @@ class BExpr:
         return isinstance(self, (BTrue, BFalse))
 
 
-@dataclass(frozen=True, slots=True, eq=False)
+_NO_VARS: frozenset[int] = frozenset()
+
+
 class BTrue(BExpr):
-    """The constant true."""
+    """The constant true (a singleton)."""
 
-    def __post_init__(self) -> None:
-        object.__setattr__(self, "_key", ("1",))
+    __slots__ = ()
+    _instance: "BTrue" = None  # type: ignore[assignment]
 
-    _key: tuple = field(init=False, repr=False)
+    def __new__(cls) -> "BTrue":
+        instance = cls._instance
+        if instance is None:
+            instance = object.__new__(cls)
+            instance.nid = DEFAULT_MANAGER.next_id()
+            instance._key = ("1",)
+            instance._hash = hash(("1",))
+            instance._vars = _NO_VARS
+            cls._instance = instance
+        return instance
 
-    def __eq__(self, other: object) -> bool:
-        return isinstance(other, BTrue)
+    def __reduce__(self):
+        return (BTrue, ())
 
-    def __hash__(self) -> int:
-        return hash(("1",))
+    def __repr__(self) -> str:
+        return "BTrue()"
 
     def __str__(self) -> str:
         return "true"
 
 
-@dataclass(frozen=True, slots=True, eq=False)
 class BFalse(BExpr):
-    """The constant false."""
+    """The constant false (a singleton)."""
 
-    def __post_init__(self) -> None:
-        object.__setattr__(self, "_key", ("0",))
+    __slots__ = ()
+    _instance: "BFalse" = None  # type: ignore[assignment]
 
-    _key: tuple = field(init=False, repr=False)
+    def __new__(cls) -> "BFalse":
+        instance = cls._instance
+        if instance is None:
+            instance = object.__new__(cls)
+            instance.nid = DEFAULT_MANAGER.next_id()
+            instance._key = ("0",)
+            instance._hash = hash(("0",))
+            instance._vars = _NO_VARS
+            cls._instance = instance
+        return instance
 
-    def __eq__(self, other: object) -> bool:
-        return isinstance(other, BFalse)
+    def __reduce__(self):
+        return (BFalse, ())
 
-    def __hash__(self) -> int:
-        return hash(("0",))
+    def __repr__(self) -> str:
+        return "BFalse()"
 
     def __str__(self) -> str:
         return "false"
@@ -111,44 +150,68 @@ B_TRUE = BTrue()
 B_FALSE = BFalse()
 
 
-@dataclass(frozen=True, slots=True, eq=False)
 class BVar(BExpr):
     """A Boolean variable, identified by a non-negative integer index."""
 
+    __slots__ = ("index",)
+
     index: int
-    _key: tuple = field(init=False, repr=False)
 
-    def __post_init__(self) -> None:
-        object.__setattr__(self, "_key", ("v", self.index))
+    def __new__(cls, index: int) -> "BVar":
+        manager = DEFAULT_MANAGER
+        key = ("v", index)
+        node = manager.unique.get(key)
+        if node is not None:
+            manager.intern_hits += 1
+            return node  # type: ignore[return-value]
+        self = object.__new__(cls)
+        self.index = index
+        self.nid = manager.next_id()
+        self._key = key
+        self._hash = hash(key)
+        self._vars = frozenset((index,))
+        return manager.intern(key, self)  # type: ignore[return-value]
 
-    def __eq__(self, other: object) -> bool:
-        return isinstance(other, BVar) and other.index == self.index
+    def __reduce__(self):
+        return (BVar, (self.index,))
 
-    def __hash__(self) -> int:
-        return hash(("v", self.index))
+    def __repr__(self) -> str:
+        return f"BVar(index={self.index!r})"
 
     def __str__(self) -> str:
         return f"x{self.index}"
 
 
-@dataclass(frozen=True, slots=True, eq=False)
 class BNot(BExpr):
     """Negation. Build via :func:`bnot` to get simplification."""
 
-    sub: BExpr
-    _key: tuple = field(init=False, repr=False)
+    __slots__ = ("sub",)
 
-    def __post_init__(self) -> None:
-        object.__setattr__(self, "_key", ("n", self.sub.key()))
+    sub: BExpr
+
+    def __new__(cls, sub: BExpr) -> "BNot":
+        manager = DEFAULT_MANAGER
+        table_key = ("n", sub.nid)
+        node = manager.unique.get(table_key)
+        if node is not None:
+            manager.intern_hits += 1
+            return node  # type: ignore[return-value]
+        self = object.__new__(cls)
+        self.sub = sub
+        self.nid = manager.next_id()
+        self._key = ("n", sub._key)
+        self._hash = hash(("n", sub._hash))
+        self._vars = sub._vars
+        return manager.intern(table_key, self)  # type: ignore[return-value]
 
     def children(self) -> tuple[BExpr, ...]:
         return (self.sub,)
 
-    def __eq__(self, other: object) -> bool:
-        return isinstance(other, BNot) and other._key == self._key
+    def __reduce__(self):
+        return (BNot, (self.sub,))
 
-    def __hash__(self) -> int:
-        return hash(self._key)
+    def __repr__(self) -> str:
+        return f"BNot(sub={self.sub!r})"
 
     def __str__(self) -> str:
         return f"~{_wrap(self.sub)}"
@@ -156,9 +219,9 @@ class BNot(BExpr):
 
 def bnot(expr: BExpr) -> BExpr:
     """Negation with double-negation and constant simplification."""
-    if isinstance(expr, BTrue):
+    if expr is B_TRUE:
         return B_FALSE
-    if isinstance(expr, BFalse):
+    if expr is B_FALSE:
         return B_TRUE
     if isinstance(expr, BNot):
         return expr.sub
@@ -175,31 +238,48 @@ def _gather(cls, parts: Iterable[BExpr]) -> list[BExpr]:
     return out
 
 
-@dataclass(frozen=True, slots=True, eq=False)
+def _structural_key(node: BExpr) -> tuple:
+    return node._key
+
+
 class BAnd(BExpr):
     """N-ary conjunction with canonically ordered children."""
 
-    parts: tuple[BExpr, ...]
-    _key: tuple = field(init=False, repr=False)
+    __slots__ = ("parts",)
 
-    def __post_init__(self) -> None:
-        object.__setattr__(self, "_key", ("a", tuple(p.key() for p in self.parts)))
+    parts: tuple[BExpr, ...]
+
+    def __new__(cls, parts: tuple[BExpr, ...]) -> "BAnd":
+        manager = DEFAULT_MANAGER
+        parts = tuple(parts)
+        table_key = ("a", tuple(p.nid for p in parts))
+        node = manager.unique.get(table_key)
+        if node is not None:
+            manager.intern_hits += 1
+            return node  # type: ignore[return-value]
+        self = object.__new__(cls)
+        self.parts = parts
+        self.nid = manager.next_id()
+        self._key = ("a", tuple(p._key for p in parts))
+        self._hash = hash(("a", tuple(p._hash for p in parts)))
+        self._vars = frozenset().union(*(p._vars for p in parts))
+        return manager.intern(table_key, self)  # type: ignore[return-value]
 
     @staticmethod
     def of(parts: Iterable[BExpr]) -> BExpr:
         flat = _gather(BAnd, parts)
-        seen: dict[tuple, BExpr] = {}
+        seen: dict[int, BExpr] = {}
         for p in flat:
-            if isinstance(p, BFalse):
+            if p is B_FALSE:
                 return B_FALSE
-            if isinstance(p, BTrue):
+            if p is B_TRUE:
                 continue
-            seen.setdefault(p.key(), p)
+            seen.setdefault(p.nid, p)
         # complement law: x ∧ ¬x = false
         for p in seen.values():
-            if isinstance(p, BNot) and p.sub.key() in seen:
+            if type(p) is BNot and p.sub.nid in seen:
                 return B_FALSE
-        ordered = tuple(seen[k] for k in sorted(seen))
+        ordered = tuple(sorted(seen.values(), key=_structural_key))
         if not ordered:
             return B_TRUE
         if len(ordered) == 1:
@@ -209,40 +289,54 @@ class BAnd(BExpr):
     def children(self) -> tuple[BExpr, ...]:
         return self.parts
 
-    def __eq__(self, other: object) -> bool:
-        return isinstance(other, BAnd) and other._key == self._key
+    def __reduce__(self):
+        return (BAnd, (self.parts,))
 
-    def __hash__(self) -> int:
-        return hash(self._key)
+    def __repr__(self) -> str:
+        return f"BAnd(parts={self.parts!r})"
 
     def __str__(self) -> str:
         return " & ".join(_wrap(p) for p in self.parts)
 
 
-@dataclass(frozen=True, slots=True, eq=False)
 class BOr(BExpr):
     """N-ary disjunction with canonically ordered children."""
 
-    parts: tuple[BExpr, ...]
-    _key: tuple = field(init=False, repr=False)
+    __slots__ = ("parts",)
 
-    def __post_init__(self) -> None:
-        object.__setattr__(self, "_key", ("o", tuple(p.key() for p in self.parts)))
+    parts: tuple[BExpr, ...]
+
+    def __new__(cls, parts: tuple[BExpr, ...]) -> "BOr":
+        manager = DEFAULT_MANAGER
+        parts = tuple(parts)
+        table_key = ("o", tuple(p.nid for p in parts))
+        node = manager.unique.get(table_key)
+        if node is not None:
+            manager.intern_hits += 1
+            return node  # type: ignore[return-value]
+        self = object.__new__(cls)
+        self.parts = parts
+        self.nid = manager.next_id()
+        self._key = ("o", tuple(p._key for p in parts))
+        self._hash = hash(("o", tuple(p._hash for p in parts)))
+        self._vars = frozenset().union(*(p._vars for p in parts))
+        return manager.intern(table_key, self)  # type: ignore[return-value]
 
     @staticmethod
     def of(parts: Iterable[BExpr]) -> BExpr:
         flat = _gather(BOr, parts)
-        seen: dict[tuple, BExpr] = {}
+        seen: dict[int, BExpr] = {}
         for p in flat:
-            if isinstance(p, BTrue):
+            if p is B_TRUE:
                 return B_TRUE
-            if isinstance(p, BFalse):
+            if p is B_FALSE:
                 continue
-            seen.setdefault(p.key(), p)
+            seen.setdefault(p.nid, p)
+        # complement law: x ∨ ¬x = true
         for p in seen.values():
-            if isinstance(p, BNot) and p.sub.key() in seen:
+            if type(p) is BNot and p.sub.nid in seen:
                 return B_TRUE
-        ordered = tuple(seen[k] for k in sorted(seen))
+        ordered = tuple(sorted(seen.values(), key=_structural_key))
         if not ordered:
             return B_FALSE
         if len(ordered) == 1:
@@ -252,11 +346,11 @@ class BOr(BExpr):
     def children(self) -> tuple[BExpr, ...]:
         return self.parts
 
-    def __eq__(self, other: object) -> bool:
-        return isinstance(other, BOr) and other._key == self._key
+    def __reduce__(self):
+        return (BOr, (self.parts,))
 
-    def __hash__(self) -> int:
-        return hash(self._key)
+    def __repr__(self) -> str:
+        return f"BOr(parts={self.parts!r})"
 
     def __str__(self) -> str:
         return " | ".join(_wrap(p) for p in self.parts)

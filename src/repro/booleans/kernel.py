@@ -1,0 +1,151 @@
+"""The hash-consing kernel behind :mod:`repro.booleans.expr`.
+
+Every structurally-distinct Boolean expression is *interned*: the node
+constructors consult a :class:`NodeManager` unique table, so two
+constructions of the same formula return the **same object**, carrying a
+small integer id (``nid``). Downstream this buys
+
+* O(1) equality (identity) and O(1) cache keys (ints) where the pre-kernel
+  code hashed O(|subtree|) nested structural tuples;
+* a per-node ``variables()`` frozenset computed once at intern time;
+* process-wide memo tables — cofactors keyed ``(nid, var, value)`` and
+  independent factors keyed ``nid`` — so repeated Shannon expansions of
+  shared subformulas are O(1) after the first computation.
+
+The unique table keys are ``(tag, child ids...)`` tuples: children are
+interned before their parents, so the ids identify the children up to
+structural equality and interning one node costs O(arity), not O(size).
+
+The manager deliberately holds strong references. A long-lived process can
+call :meth:`NodeManager.reset` to release the tables, but only when no
+expressions built before the reset are still being combined with new ones
+(mixed "generations" would defeat the identity invariant). Node ids are
+monotonic across resets, so stale memo keys can never collide with fresh
+nodes.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Hashable
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from .expr import BExpr
+
+
+@dataclass(frozen=True)
+class KernelStatistics:
+    """A snapshot of one :class:`NodeManager`'s counters."""
+
+    unique_nodes: int
+    intern_hits: int
+    intern_misses: int
+    cofactor_hits: int
+    cofactor_misses: int
+    factor_hits: int
+    factor_misses: int
+
+    def __str__(self) -> str:
+        return (
+            f"{self.unique_nodes} unique nodes, "
+            f"intern {self.intern_hits} hits / {self.intern_misses} misses, "
+            f"cofactor memo {self.cofactor_hits} hits / "
+            f"{self.cofactor_misses} misses"
+        )
+
+
+class NodeManager:
+    """Unique table plus memo tables for interned Boolean expressions.
+
+    ``intern_misses`` equals the number of nodes actually allocated;
+    ``intern_hits`` counts constructions served by the table (allocations
+    the pre-kernel representation would have paid for).
+    """
+
+    __slots__ = (
+        "unique",
+        "cofactor_memo",
+        "factors_memo",
+        "branch_memo",
+        "intern_hits",
+        "intern_misses",
+        "cofactor_hits",
+        "cofactor_misses",
+        "factor_hits",
+        "factor_misses",
+        "_ids",
+    )
+
+    def __init__(self) -> None:
+        self.unique: dict[Hashable, "BExpr"] = {}
+        self.cofactor_memo: dict[tuple[int, int, bool], "BExpr"] = {}
+        self.factors_memo: dict[int, tuple["BExpr", ...]] = {}
+        self.branch_memo: dict[int, int] = {}
+        self.intern_hits = 0
+        self.intern_misses = 0
+        self.cofactor_hits = 0
+        self.cofactor_misses = 0
+        self.factor_hits = 0
+        self.factor_misses = 0
+        # Monotonic across resets so stale memo keys can never collide.
+        self._ids = itertools.count()
+
+    def next_id(self) -> int:
+        return next(self._ids)
+
+    def intern(self, key: Hashable, node: "BExpr") -> "BExpr":
+        """Insert *node* under *key* unless an equal node already exists.
+
+        ``setdefault`` is atomic under the GIL, so concurrent constructions
+        from batch-executor threads agree on one canonical object.
+        """
+        winner = self.unique.setdefault(key, node)
+        if winner is node:
+            self.intern_misses += 1
+        else:
+            self.intern_hits += 1
+        return winner
+
+    def snapshot(self) -> KernelStatistics:
+        return KernelStatistics(
+            unique_nodes=len(self.unique),
+            intern_hits=self.intern_hits,
+            intern_misses=self.intern_misses,
+            cofactor_hits=self.cofactor_hits,
+            cofactor_misses=self.cofactor_misses,
+            factor_hits=self.factor_hits,
+            factor_misses=self.factor_misses,
+        )
+
+    def reset(self) -> None:
+        """Drop the unique table and memo tables and zero the counters.
+
+        Safe only when no pre-reset expressions will be combined with
+        post-reset ones (see the module docstring); the constant singletons
+        survive because they live on their classes, not in the table.
+        """
+        self.unique.clear()
+        self.cofactor_memo.clear()
+        self.factors_memo.clear()
+        self.branch_memo.clear()
+        self.intern_hits = 0
+        self.intern_misses = 0
+        self.cofactor_hits = 0
+        self.cofactor_misses = 0
+        self.factor_hits = 0
+        self.factor_misses = 0
+
+
+#: The process-wide manager used by the expression constructors.
+DEFAULT_MANAGER = NodeManager()
+
+
+def kernel_statistics() -> KernelStatistics:
+    """A snapshot of the default manager's counters."""
+    return DEFAULT_MANAGER.snapshot()
+
+
+def reset_kernel() -> None:
+    """Reset the default manager (see :meth:`NodeManager.reset` caveats)."""
+    DEFAULT_MANAGER.reset()

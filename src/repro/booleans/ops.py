@@ -7,6 +7,13 @@ These are the primitives of the DPLL-style algorithms of Sec. 7:
 * :func:`independent_factors` splits a conjunction (or disjunction) into
   variable-disjoint components (rule (12) and its dual);
 * :func:`variable_frequencies` supports branching heuristics.
+
+All three lean on the hash-consing kernel (:mod:`repro.booleans.kernel`):
+subtrees that do not mention an assigned variable are returned *unchanged*
+(same object — the per-node variable sets make the check O(1)), and
+single-variable restrictions and factor splits are memoized process-wide by
+node id, so repeated Shannon expansions of shared subformulas cost O(1)
+after the first computation.
 """
 
 from __future__ import annotations
@@ -25,28 +32,57 @@ from .expr import (
     BVar,
     bnot,
 )
+from .kernel import DEFAULT_MANAGER
+
+
+def _condition_single(expr: BExpr, var: int, value: bool) -> BExpr:
+    """F[var := value] with the kernel's process-wide cofactor memo."""
+    if var not in expr._vars:
+        return expr
+    manager = DEFAULT_MANAGER
+    memo = manager.cofactor_memo
+    memo_key = (expr.nid, var, value)
+    cached = memo.get(memo_key)
+    if cached is not None:
+        manager.cofactor_hits += 1
+        return cached
+    manager.cofactor_misses += 1
+    if isinstance(expr, BVar):
+        result: BExpr = B_TRUE if value else B_FALSE
+    elif isinstance(expr, BNot):
+        result = bnot(_condition_single(expr.sub, var, value))
+    elif isinstance(expr, BAnd):
+        result = BAnd.of(_condition_single(p, var, value) for p in expr.parts)
+    elif isinstance(expr, BOr):
+        result = BOr.of(_condition_single(p, var, value) for p in expr.parts)
+    else:
+        raise TypeError(f"unknown node {expr!r}")
+    memo[memo_key] = result
+    return result
 
 
 def condition(expr: BExpr, assignment: Mapping[int, bool]) -> BExpr:
     """The restriction of *expr* under a partial assignment, simplified.
 
     Unassigned variables remain symbolic. Simplification is the
-    constructor-level one (unit laws, complement law, dedup).
+    constructor-level one (unit laws, complement law, dedup). Subtrees that
+    mention none of the assigned variables come back unchanged — the very
+    same interned object, not a rebuilt copy.
     """
-    memo: dict[tuple, BExpr] = {}
+    if len(assignment) == 1:
+        (var, value), = assignment.items()
+        return _condition_single(expr, var, bool(value))
+    assigned = frozenset(assignment)
+    memo: dict[int, BExpr] = {}
 
     def walk(node: BExpr) -> BExpr:
-        key = node.key()
-        cached = memo.get(key)
+        if assigned.isdisjoint(node._vars):
+            return node
+        cached = memo.get(node.nid)
         if cached is not None:
             return cached
-        if isinstance(node, (BTrue, BFalse)):
-            result: BExpr = node
-        elif isinstance(node, BVar):
-            if node.index in assignment:
-                result = B_TRUE if assignment[node.index] else B_FALSE
-            else:
-                result = node
+        if isinstance(node, BVar):
+            result: BExpr = B_TRUE if assignment[node.index] else B_FALSE
         elif isinstance(node, BNot):
             result = bnot(walk(node.sub))
         elif isinstance(node, BAnd):
@@ -55,15 +91,17 @@ def condition(expr: BExpr, assignment: Mapping[int, bool]) -> BExpr:
             result = BOr.of(walk(p) for p in node.parts)
         else:
             raise TypeError(f"unknown node {node!r}")
-        memo[key] = result
+        memo[node.nid] = result
         return result
 
+    if isinstance(expr, (BTrue, BFalse)) or not assignment:
+        return expr
     return walk(expr)
 
 
 def cofactors(expr: BExpr, var: int) -> tuple[BExpr, BExpr]:
     """The pair (F[var := 0], F[var := 1]) used by the Shannon expansion."""
-    return condition(expr, {var: False}), condition(expr, {var: True})
+    return _condition_single(expr, var, False), _condition_single(expr, var, True)
 
 
 def independent_factors(expr: BExpr) -> list[BExpr]:
@@ -72,12 +110,17 @@ def independent_factors(expr: BExpr) -> list[BExpr]:
     For a conjunction F = F₁ ∧ F₂ with disjoint variables the factors are
     independent events (rule (12)); for a disjunction the dual independent-or
     applies. A node that is neither, or whose parts all share variables,
-    comes back as a single factor.
+    comes back as a single factor. Results are memoized by node id.
     """
     if not isinstance(expr, (BAnd, BOr)):
         return [expr]
+    manager = DEFAULT_MANAGER
+    cached = manager.factors_memo.get(expr.nid)
+    if cached is not None:
+        manager.factor_hits += 1
+        return list(cached)
+    manager.factor_misses += 1
     parts = expr.parts
-    part_vars = [p.variables() for p in parts]
     n = len(parts)
     parent = list(range(n))
 
@@ -88,8 +131,8 @@ def independent_factors(expr: BExpr) -> list[BExpr]:
         return i
 
     index_of_var: dict[int, int] = {}
-    for i, pv in enumerate(part_vars):
-        for v in pv:
+    for i, part in enumerate(parts):
+        for v in part._vars:
             j = index_of_var.get(v)
             if j is None:
                 index_of_var[v] = i
@@ -102,9 +145,12 @@ def independent_factors(expr: BExpr) -> list[BExpr]:
     for i, part in enumerate(parts):
         groups.setdefault(find(i), []).append(part)
     if len(groups) == 1:
-        return [expr]
-    builder = BAnd.of if isinstance(expr, BAnd) else BOr.of
-    return [builder(group) for group in groups.values()]
+        factors = [expr]
+    else:
+        builder = BAnd.of if isinstance(expr, BAnd) else BOr.of
+        factors = [builder(group) for group in groups.values()]
+    manager.factors_memo[expr.nid] = tuple(factors)
+    return factors
 
 
 def variable_frequencies(expr: BExpr) -> dict[int, int]:
@@ -121,11 +167,21 @@ def variable_frequencies(expr: BExpr) -> dict[int, int]:
 
 
 def most_frequent_variable(expr: BExpr) -> int:
-    """The variable with the most occurrences (ties broken by index)."""
+    """The variable with the most occurrences (ties broken by index).
+
+    Memoized by node id: the DPLL counter asks this of every subformula it
+    expands, and shared subformulas recur across and within runs.
+    """
+    manager = DEFAULT_MANAGER
+    cached = manager.branch_memo.get(expr.nid)
+    if cached is not None:
+        return cached
     counts = variable_frequencies(expr)
     if not counts:
         raise ValueError("expression has no variables")
-    return max(counts, key=lambda v: (counts[v], -v))
+    best = max(counts, key=lambda v: (counts[v], -v))
+    manager.branch_memo[expr.nid] = best
+    return best
 
 
 def is_positive(expr: BExpr) -> bool:

@@ -55,7 +55,8 @@ def _build_parser() -> argparse.ArgumentParser:
     query.add_argument(
         "--stats",
         action="store_true",
-        help="print per-stage wall times (parse / lineage / compile / count)",
+        help="print per-stage wall times (parse / lineage / compile / count) "
+        "and, for grounded routes, Boolean-kernel counters",
     )
     query.add_argument(
         "--seed",
@@ -132,6 +133,8 @@ def _cmd_query(args: argparse.Namespace) -> int:
         print(f"detail      : {answer.detail}")
     if args.stats and answer.stats is not None:
         print(f"stage times : {answer.stats.summary()}")
+        if answer.stats.counters:
+            print(f"kernel      : {answer.stats.counter_summary()}")
     return 0
 
 

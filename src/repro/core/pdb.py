@@ -293,6 +293,12 @@ class ProbabilisticDatabase:
         counter = DPLLCounter()
         with stats.stage("count"):
             result = counter.run(lineage.expr, lineage.probabilities())
+        stats.counters.update(
+            kernel_unique_nodes=result.statistics.kernel_unique_nodes,
+            kernel_intern_hits=result.statistics.kernel_intern_hits,
+            cofactor_memo_hits=result.statistics.cofactor_memo_hits,
+            cofactor_memo_misses=result.statistics.cofactor_memo_misses,
+        )
         return QueryAnswer(
             result.probability,
             Method.DPLL,
@@ -300,7 +306,8 @@ class ProbabilisticDatabase:
             detail=(
                 f"grounded: {lineage.variable_count} lineage variables, "
                 f"{result.statistics.shannon_expansions} Shannon expansions, "
-                f"{result.statistics.cache_hits} cache hits"
+                f"{result.statistics.cache_hits} cache hits, "
+                f"{result.statistics.cofactor_memo_hits} cofactor-memo hits"
             ),
         )
 
@@ -476,6 +483,8 @@ def explain_answer(query: Query, answer: QueryAnswer) -> str:
     if answer.stats is not None:
         lines.append(f"cache hit    : {answer.stats.cache_hit}")
         lines.append(f"stage times  : {answer.stats.summary()}")
+        if answer.stats.counters:
+            lines.append(f"kernel       : {answer.stats.counter_summary()}")
     for step in answer.lifted_trace:
         lines.append(f"  {step}")
     return "\n".join(lines)

@@ -131,3 +131,16 @@ def query_fingerprint(query: Any, head: Optional[tuple] = None) -> str:
 def tid_fingerprint(tid: Any) -> str:
     """The database content hash (see ``TupleIndependentDatabase.fingerprint``)."""
     return tid.fingerprint()
+
+
+def expr_fingerprint(expr: Any) -> str:
+    """An O(1) fingerprint of an interned Boolean expression.
+
+    The hash-consing kernel (:mod:`repro.booleans.kernel`) gives every
+    structurally-distinct expression a unique node id, so the id alone
+    addresses the expression — no re-serialization of the formula tree.
+    Node ids are process-local, which is exactly the lifetime of this
+    in-memory cache; they are monotonic across kernel resets, so a stale
+    fingerprint can never alias a fresh expression.
+    """
+    return f"bexpr:{expr.nid}"

@@ -12,7 +12,7 @@ entry kind              key
 ======================  =====================================================
 parsed query            ``("parse", query_fp)``
 grounded lineage        ``("lineage", tid_fp, query_fp)``
-compiled circuit        ``("circuit", tid_fp, query_fp)``
+compiled circuit        ``("circuit", tid_fp, lineage_expr_fp)``
 Boolean answer          ``("answer", tid_fp, query_fp, method)``
 per-answer marginals    ``("answers", tid_fp, query_fp·head)``
 ======================  =====================================================
@@ -53,7 +53,7 @@ from ..core.pdb import (
 )
 from ..core.tid import TupleIndependentDatabase
 from ..logic.terms import Var
-from .cache import LRUCache, query_fingerprint
+from .cache import LRUCache, expr_fingerprint, query_fingerprint
 from .stats import QueryStats, SessionStats
 
 
@@ -286,11 +286,14 @@ class EngineSession:
 
         tid_fp = self.tid.fingerprint()
         qfp = query_fingerprint(query)
-        key = ("circuit", tid_fp, qfp)
+        parsed = self._parse_cached(query, qfp)
+        lineage = self._lineage_factory(tid_fp, qfp)(parsed)
+        # Key the circuit by the interned lineage expression, not the query
+        # text: distinct spellings that ground to the same formula share one
+        # compiled decision-DNNF.
+        key = ("circuit", tid_fp, expr_fingerprint(lineage.expr))
         entry = self.cache.get(key)
         if entry is None:
-            parsed = self._parse_cached(query, qfp)
-            lineage = self._lineage_factory(tid_fp, qfp)(parsed)
             compiled = compile_decision_dnnf(lineage.expr, lineage.probabilities())
             entry = (lineage, compiled)
             self.cache.put(key, entry)

@@ -43,11 +43,17 @@ def _format_seconds(seconds: float) -> str:
 
 @dataclass
 class QueryStats:
-    """Where one query's evaluation spent its time, and how it was served."""
+    """Where one query's evaluation spent its time, and how it was served.
+
+    ``counters`` carries route-specific integer counters — notably the
+    hash-consing kernel's unique-table size and intern/cofactor-memo
+    traffic filled in by the grounded (DPLL) route.
+    """
 
     route: str = ""
     stages: Dict[str, float] = field(default_factory=dict)
     cache_hit: bool = False
+    counters: Dict[str, int] = field(default_factory=dict)
 
     @contextmanager
     def stage(self, name: str) -> Iterator[None]:
@@ -82,6 +88,12 @@ class QueryStats:
         parts.append(f"total={_format_seconds(self.total)}")
         return " ".join(parts)
 
+    def counter_summary(self) -> str:
+        """One line: ``kernel_unique_nodes=42 cofactor_memo_hits=7 ...``."""
+        return " ".join(
+            f"{name}={value}" for name, value in sorted(self.counters.items())
+        )
+
     def report(self) -> str:
         """Multi-line report in the style of ``ProbabilisticDatabase.explain``."""
         lines = [
@@ -89,6 +101,8 @@ class QueryStats:
             f"cache hit    : {self.cache_hit}",
             f"stage times  : {self.summary()}",
         ]
+        if self.counters:
+            lines.append(f"kernel       : {self.counter_summary()}")
         return "\n".join(lines)
 
 
@@ -106,6 +120,7 @@ class SessionStats:
     cache_misses: int = 0
     routes: Dict[str, int] = field(default_factory=dict)
     stage_seconds: Dict[str, float] = field(default_factory=dict)
+    counters: Dict[str, int] = field(default_factory=dict)
     _lock: threading.Lock = field(
         default_factory=threading.Lock, repr=False, compare=False
     )
@@ -126,6 +141,12 @@ class SessionStats:
                 self.stage_seconds[name] = (
                     self.stage_seconds.get(name, 0.0) + seconds
                 )
+            for name, value in stats.counters.items():
+                if name == "kernel_unique_nodes":
+                    # A table size, not a rate: keep the latest observation.
+                    self.counters[name] = value
+                else:
+                    self.counters[name] = self.counters.get(name, 0) + value
 
     def record_batch(self) -> None:
         with self._lock:
@@ -147,6 +168,9 @@ class SessionStats:
                 for name in STAGE_ORDER
                 if name in self.stage_seconds
             )
+            counters = " ".join(
+                f"{name}={value}" for name, value in sorted(self.counters.items())
+            )
             lines = [
                 f"queries      : {self.queries} ({self.batches} batches)",
                 f"answer cache : {self.cache_hits} hits / "
@@ -155,4 +179,6 @@ class SessionStats:
                 f"routes       : {routes or '-'}",
                 f"stage totals : {stages or '-'}",
             ]
+            if counters:
+                lines.append(f"kernel       : {counters}")
         return "\n".join(lines)

@@ -95,8 +95,8 @@ class Circuit:
             return TRUE_LEAF
         if len(kids) == 1:
             return kids[0]
-        key = ("a", tuple(sorted(kids)))
-        return self._intern(key, AndNode(tuple(sorted(kids))))
+        ordered = tuple(sorted(kids))
+        return self._intern(("a", ordered), AndNode(ordered))
 
     def disjoin(self, children: Iterable[int]) -> int:
         """Add a disjoint-∨ node with unit simplification."""
@@ -111,8 +111,8 @@ class Circuit:
             return FALSE_LEAF
         if len(kids) == 1:
             return kids[0]
-        key = ("o", tuple(sorted(kids)))
-        return self._intern(key, OrNode(tuple(sorted(kids))))
+        ordered = tuple(sorted(kids))
+        return self._intern(("o", ordered), OrNode(ordered))
 
     def literal(self, var: int, positive: bool = True) -> int:
         return self._intern(("l", var, positive), Literal(var, positive))

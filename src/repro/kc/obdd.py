@@ -31,6 +31,7 @@ class OBDD:
     _nodes: list[tuple[int, int, int]] = field(init=False, repr=False)
     _unique: dict[tuple[int, int, int], int] = field(init=False, repr=False)
     _apply_cache: dict[tuple, int] = field(init=False, repr=False)
+    _expr_cache: dict[int, int] = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
         self.order = tuple(self.order)
@@ -41,6 +42,7 @@ class OBDD:
         self._nodes = [terminal, terminal]
         self._unique = {}
         self._apply_cache = {}
+        self._expr_cache = {}
 
     # -- node management ----------------------------------------------------
 
@@ -122,30 +124,39 @@ class OBDD:
         return result
 
     def from_expr(self, expr: BExpr) -> int:
-        """Compile a Boolean expression into a diagram root."""
+        """Compile a Boolean expression into a diagram root.
+
+        Memoized by the expression's interned node id, so the shared
+        literal/clause nodes of hash-consed DNF lineages compile once per
+        manager instead of once per occurrence.
+        """
         if isinstance(expr, BTrue):
             return TRUE_NODE
         if isinstance(expr, BFalse):
             return FALSE_NODE
+        cached = self._expr_cache.get(expr.nid)
+        if cached is not None:
+            return cached
         if isinstance(expr, BVar):
-            return self.variable(expr.index)
-        if isinstance(expr, BNot):
-            return self.negate(self.from_expr(expr.sub))
-        if isinstance(expr, BAnd):
+            result = self.variable(expr.index)
+        elif isinstance(expr, BNot):
+            result = self.negate(self.from_expr(expr.sub))
+        elif isinstance(expr, BAnd):
             result = TRUE_NODE
             for part in expr.parts:
                 result = self.conjoin(result, self.from_expr(part))
                 if result == FALSE_NODE:
-                    return FALSE_NODE
-            return result
-        if isinstance(expr, BOr):
+                    break
+        elif isinstance(expr, BOr):
             result = FALSE_NODE
             for part in expr.parts:
                 result = self.disjoin(result, self.from_expr(part))
                 if result == TRUE_NODE:
-                    return TRUE_NODE
-            return result
-        raise TypeError(f"unknown node {expr!r}")
+                    break
+        else:
+            raise TypeError(f"unknown node {expr!r}")
+        self._expr_cache[expr.nid] = result
+        return result
 
     # -- analysis -------------------------------------------------------------
 

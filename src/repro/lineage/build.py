@@ -48,11 +48,17 @@ from ..logic.terms import Const, Var
 
 @dataclass
 class VariablePool:
-    """Assigns consecutive integer indices to facts, remembering probabilities."""
+    """Assigns consecutive integer indices to facts, remembering probabilities.
+
+    The pool also keeps the interned :class:`BVar` node per fact, so
+    grounding a fact that was seen before returns the existing literal
+    object without touching the kernel's unique table.
+    """
 
     var_of_fact: dict[Fact, int] = field(default_factory=dict)
     fact_of_var: list[Fact] = field(default_factory=list)
     probabilities: list[float] = field(default_factory=list)
+    node_of_var: list[BVar] = field(default_factory=list)
 
     def variable(self, fact: Fact, probability: float) -> int:
         index = self.var_of_fact.get(fact)
@@ -61,7 +67,12 @@ class VariablePool:
             self.var_of_fact[fact] = index
             self.fact_of_var.append(fact)
             self.probabilities.append(probability)
+            self.node_of_var.append(BVar(index))
         return index
+
+    def literal(self, fact: Fact, probability: float) -> BVar:
+        """The interned literal node for *fact*, registering it if new."""
+        return self.node_of_var[self.variable(fact, probability)]
 
     def probability_map(self) -> dict[int, float]:
         return dict(enumerate(self.probabilities))
@@ -116,7 +127,7 @@ def lineage_of_sentence(
             probability = db.probability_of_fact(fact[0], fact[1])
             if probability <= 0.0:
                 return B_FALSE
-            return BVar(pool.variable(fact, probability))
+            return pool.literal(fact, probability)
         if isinstance(f, Not):
             return bnot(walk(f.sub))
         if isinstance(f, And):
@@ -196,7 +207,7 @@ def lineage_of_cq(
         for atom in query.atoms:
             fact = ground_atom(atom, match)
             probability = db.probability_of_fact(fact[0], fact[1])
-            factors.append(BVar(pool.variable(fact, probability)))
+            factors.append(pool.literal(fact, probability))
         terms.append(BAnd.of(factors))
     return Lineage(BOr.of(terms), pool)
 
@@ -236,6 +247,6 @@ def answer_lineages(
         for atom in query.atoms:
             fact = ground_atom(atom, match)
             probability = db.probability_of_fact(fact[0], fact[1])
-            factors.append(BVar(pool.variable(fact, probability)))
+            factors.append(pool.literal(fact, probability))
         grouped.setdefault(key, []).append(BAnd.of(factors))
     return {key: BOr.of(parts) for key, parts in grouped.items()}, pool

@@ -26,18 +26,29 @@ from dataclasses import dataclass, field
 from typing import Mapping, Optional, Sequence
 
 from ..booleans.expr import B_FALSE, B_TRUE, BAnd, BExpr, BOr
+from ..booleans.kernel import kernel_statistics
 from ..booleans.ops import cofactors, independent_factors, most_frequent_variable
 from ..kc.circuits import FALSE_LEAF, TRUE_LEAF, Circuit
 
 
 @dataclass
 class DPLLStatistics:
-    """Counters describing one run of the counter."""
+    """Counters describing one run of the counter.
+
+    The ``kernel_*`` and ``cofactor_memo_*`` fields are deltas of the
+    hash-consing kernel's process-wide counters over the run (plus the
+    final unique-table size), so they attribute interning and cofactor-memo
+    traffic to this query even though the tables are shared.
+    """
 
     calls: int = 0
     cache_hits: int = 0
     shannon_expansions: int = 0
     component_splits: int = 0
+    kernel_unique_nodes: int = 0
+    kernel_intern_hits: int = 0
+    cofactor_memo_hits: int = 0
+    cofactor_memo_misses: int = 0
 
 
 @dataclass
@@ -64,7 +75,9 @@ class DPLLCounter:
     variable_order: Optional[Sequence[int]] = None
     record_trace: bool = False
 
-    _cache: dict[tuple, tuple[float, int]] = field(default_factory=dict, repr=False)
+    # Keyed by interned node id: an O(1) int lookup per call, where the
+    # pre-kernel counter hashed an O(|subtree|) nested structural key.
+    _cache: dict[int, tuple[float, int]] = field(default_factory=dict, repr=False)
 
     def run(self, expr: BExpr, probabilities: Mapping[int, float]) -> DPLLResult:
         """Compute P(expr) under independent tuple probabilities."""
@@ -74,6 +87,7 @@ class DPLLCounter:
             )
         self._cache = {}
         statistics = DPLLStatistics()
+        kernel_before = kernel_statistics()
         circuit = Circuit() if self.record_trace else None
         rank = (
             {v: i for i, v in enumerate(self.variable_order)}
@@ -89,11 +103,11 @@ class DPLLCounter:
 
         def count(formula: BExpr) -> tuple[float, int]:
             statistics.calls += 1
-            if isinstance(formula, type(B_TRUE)):
+            if formula is B_TRUE:
                 return 1.0, TRUE_LEAF
-            if isinstance(formula, type(B_FALSE)):
+            if formula is B_FALSE:
                 return 0.0, FALSE_LEAF
-            key = formula.key()
+            key = formula.nid
             if self.use_cache:
                 cached = self._cache.get(key)
                 if cached is not None:
@@ -149,6 +163,17 @@ class DPLLCounter:
         probability, root = count(expr)
         if circuit is not None:
             circuit.root = root
+        kernel_after = kernel_statistics()
+        statistics.kernel_unique_nodes = kernel_after.unique_nodes
+        statistics.kernel_intern_hits = (
+            kernel_after.intern_hits - kernel_before.intern_hits
+        )
+        statistics.cofactor_memo_hits = (
+            kernel_after.cofactor_hits - kernel_before.cofactor_hits
+        )
+        statistics.cofactor_memo_misses = (
+            kernel_after.cofactor_misses - kernel_before.cofactor_misses
+        )
         return DPLLResult(probability, statistics, circuit)
 
 
@@ -175,9 +200,9 @@ def compile_decision_dnnf(
 ) -> DPLLResult:
     """Compile *expr* into a decision-DNNF by recording the DPLL trace.
 
-    Probabilities only steer nothing here (the trace shape depends on the
-    branching heuristic, not the weights); they default to 1/2 so the result
-    also reports the uniform-weight probability.
+    The weights do not affect the trace shape (it depends only on the
+    branching heuristic); they default to 1/2 so the result also reports
+    the uniform-weight probability.
     """
     if probabilities is None:
         probabilities = {v: 0.5 for v in expr.variables()}

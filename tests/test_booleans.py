@@ -131,6 +131,37 @@ def test_cofactors():
     assert lo == y and hi == B_TRUE
 
 
+def test_interning_is_canonical():
+    # structurally equal constructions yield the very same object
+    f = band(bor(x, y), bor(y, z))
+    g = band(bor(y, z), bor(x, y))
+    assert f is g
+    assert f.nid == g.nid
+    assert bvar(0) is x
+
+
+def test_condition_untouched_subtree_is_identical():
+    # var ∉ vars(node) ⇒ condition returns the node itself, not a rebuild
+    sub = bor(y, z)
+    assert condition(sub, {0: True}) is sub
+    assert condition(sub, {0: True, 3: False}) is sub
+    # conditioning a parent must hand back untouched children unchanged
+    f = band(x, sub)
+    assert condition(f, {0: True}) is sub
+    g = band(bor(x, y), sub, bor(u, bvar(5)))
+    conditioned = condition(g, {0: True})
+    assert isinstance(conditioned, BAnd)
+    assert any(part is sub for part in conditioned.parts)
+
+
+def test_cofactor_memoization_stable():
+    f = band(bor(x, y), bor(y, z))
+    first = cofactors(f, 1)
+    second = cofactors(f, 1)
+    assert first[0] is second[0] and first[1] is second[1]
+    assert first[1] is B_TRUE  # y=1 satisfies both disjuncts
+
+
 def test_independent_factors_and():
     # flattening makes each variable its own component here
     f = band(band(x, y), band(z, u))

@@ -10,7 +10,7 @@ import pytest
 
 from repro import EngineSession, Method, ProbabilisticDatabase
 from repro.core.tid import TupleIndependentDatabase
-from repro.engine.cache import LRUCache, query_fingerprint
+from repro.engine.cache import LRUCache, expr_fingerprint, query_fingerprint
 from repro.workloads.generators import full_tid, random_tid
 
 from conftest import close
@@ -215,7 +215,10 @@ def test_lineage_shared_between_methods(session):
 def test_circuit_memoized_across_analyses(session):
     query = "R(x), S(x,y)"
     session.tuple_posteriors(query)
-    key = ("circuit", session.tid.fingerprint(), query_fingerprint(query))
+    tid_fp = session.tid.fingerprint()
+    # circuit entries are keyed by the interned lineage expression
+    lineage = session.cache.get(("lineage", tid_fp, query_fingerprint(query)))
+    key = ("circuit", tid_fp, expr_fingerprint(lineage.expr))
     assert key in session.cache
     hits_before = session.cache.stats.hits
     session.most_probable_world(query)

@@ -147,6 +147,28 @@ def test_cli_query_stats(csv_dir, capsys):
     assert "total=" in out
 
 
+def test_cli_query_stats_kernel_counters(csv_dir, capsys):
+    # the grounded route surfaces the hash-consing kernel's counters
+    code = main(
+        [
+            "query",
+            str(csv_dir / "R.csv"),
+            str(csv_dir / "S.csv"),
+            "-q",
+            "R(x), S(x,y)",
+            "-m",
+            "dpll",
+            "--stats",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "kernel" in out
+    assert "kernel_unique_nodes=" in out
+    assert "cofactor_memo_hits=" in out
+    assert "cofactor-memo hits" in out  # detail line mentions the memo too
+
+
 def test_cli_query_seed_reproducible(csv_dir, capsys):
     argv = [
         "query",

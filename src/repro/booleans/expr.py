@@ -39,7 +39,7 @@ class BExpr:
     public constructors so the unique table stays canonical.
     """
 
-    __slots__ = ("nid", "_key", "_hash", "_vars")
+    __slots__ = ("nid", "_key", "_hash", "_vars", "__weakref__")
 
     nid: int
     _key: tuple
@@ -162,7 +162,7 @@ class BVar(BExpr):
         key = ("v", index)
         node = manager.unique.get(key)
         if node is not None:
-            manager.intern_hits += 1
+            manager.counters.intern_hits += 1
             return node  # type: ignore[return-value]
         self = object.__new__(cls)
         self.index = index
@@ -194,7 +194,7 @@ class BNot(BExpr):
         table_key = ("n", sub.nid)
         node = manager.unique.get(table_key)
         if node is not None:
-            manager.intern_hits += 1
+            manager.counters.intern_hits += 1
             return node  # type: ignore[return-value]
         self = object.__new__(cls)
         self.sub = sub
@@ -255,7 +255,7 @@ class BAnd(BExpr):
         table_key = ("a", tuple(p.nid for p in parts))
         node = manager.unique.get(table_key)
         if node is not None:
-            manager.intern_hits += 1
+            manager.counters.intern_hits += 1
             return node  # type: ignore[return-value]
         self = object.__new__(cls)
         self.parts = parts
@@ -312,7 +312,7 @@ class BOr(BExpr):
         table_key = ("o", tuple(p.nid for p in parts))
         node = manager.unique.get(table_key)
         if node is not None:
-            manager.intern_hits += 1
+            manager.counters.intern_hits += 1
             return node  # type: ignore[return-value]
         self = object.__new__(cls)
         self.parts = parts

@@ -16,17 +16,35 @@ The unique table keys are ``(tag, child ids...)`` tuples: children are
 interned before their parents, so the ids identify the children up to
 structural equality and interning one node costs O(arity), not O(size).
 
-The manager deliberately holds strong references. A long-lived process can
-call :meth:`NodeManager.reset` to release the tables, but only when no
-expressions built before the reset are still being combined with new ones
-(mixed "generations" would defeat the identity invariant). Node ids are
-monotonic across resets, so stale memo keys can never collide with fresh
-nodes.
+Memory is bounded by construction, not by explicit resets:
+
+* the unique table holds its nodes through **weak references**
+  (children are strong slots of their parents, so a live root keeps its
+  whole subtree interned): once nothing outside the kernel references an
+  expression, the garbage collector drops it and its table entry — a
+  long-lived process that releases its lineages (e.g. via
+  :meth:`repro.engine.session.EngineSession.invalidate`) releases the
+  expression memory too;
+* the memo tables hold plain strong entries but are **size-capped** at
+  :attr:`NodeManager.memo_limit`: on overflow a table is cleared
+  wholesale, and :meth:`NodeManager.clear_memos` (called by
+  ``EngineSession.invalidate``) drops them on demand — the memos are
+  pure caches, so clearing only costs recomputation. Node ids are
+  monotonic and never reused, so a memo entry for a dead node can go
+  stale but can never alias a fresh one.
+
+:meth:`NodeManager.reset` still drops everything at once (useful in
+benchmarks measuring cold-table behavior), with the caveat that
+expressions from before the reset no longer share identity with ones
+built after it; ``BExpr.__eq__`` falls back to structural comparison for
+exactly this cross-generation case.
 """
 
 from __future__ import annotations
 
 import itertools
+import threading
+import weakref
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Hashable
 
@@ -36,7 +54,14 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
 
 @dataclass(frozen=True)
 class KernelStatistics:
-    """A snapshot of one :class:`NodeManager`'s counters."""
+    """A snapshot of one :class:`NodeManager`'s counters.
+
+    ``unique_nodes`` is the live size of the (process-wide) unique table;
+    the hit/miss counters are **per thread** (see
+    :class:`_ThreadLocalCounters`), so before/after deltas taken around a
+    computation attribute exactly that thread's traffic — correct even
+    while the engine's batch executor runs other queries concurrently.
+    """
 
     unique_nodes: int
     intern_hits: int
@@ -55,12 +80,31 @@ class KernelStatistics:
         )
 
 
+class _ThreadLocalCounters(threading.local):
+    """Hit/miss counters, one independent set per thread.
+
+    The tables they describe are shared process-wide, but attributing
+    traffic per thread is what makes per-query deltas meaningful: each
+    :meth:`repro.wmc.dpll.DPLLCounter.run` executes on a single thread,
+    so its before/after snapshot never includes a concurrent query's
+    interning or memo hits.
+    """
+
+    def __init__(self) -> None:
+        self.intern_hits = 0
+        self.intern_misses = 0
+        self.cofactor_hits = 0
+        self.cofactor_misses = 0
+        self.factor_hits = 0
+        self.factor_misses = 0
+
+
 class NodeManager:
     """Unique table plus memo tables for interned Boolean expressions.
 
-    ``intern_misses`` equals the number of nodes actually allocated;
-    ``intern_hits`` counts constructions served by the table (allocations
-    the pre-kernel representation would have paid for).
+    ``intern_misses`` equals the number of nodes actually allocated by the
+    current thread; ``intern_hits`` counts constructions served by the
+    table (allocations the pre-kernel representation would have paid for).
     """
 
     __slots__ = (
@@ -68,26 +112,25 @@ class NodeManager:
         "cofactor_memo",
         "factors_memo",
         "branch_memo",
-        "intern_hits",
-        "intern_misses",
-        "cofactor_hits",
-        "cofactor_misses",
-        "factor_hits",
-        "factor_misses",
+        "memo_limit",
+        "counters",
         "_ids",
     )
 
-    def __init__(self) -> None:
-        self.unique: dict[Hashable, "BExpr"] = {}
+    #: Default cap on each memo table (entries); see :attr:`memo_limit`.
+    DEFAULT_MEMO_LIMIT = 1 << 18
+
+    def __init__(self, memo_limit: int = DEFAULT_MEMO_LIMIT) -> None:
+        self.unique: "weakref.WeakValueDictionary[Hashable, BExpr]" = (
+            weakref.WeakValueDictionary()
+        )
         self.cofactor_memo: dict[tuple[int, int, bool], "BExpr"] = {}
         self.factors_memo: dict[int, tuple["BExpr", ...]] = {}
         self.branch_memo: dict[int, int] = {}
-        self.intern_hits = 0
-        self.intern_misses = 0
-        self.cofactor_hits = 0
-        self.cofactor_misses = 0
-        self.factor_hits = 0
-        self.factor_misses = 0
+        #: Each memo table is cleared wholesale when it reaches this many
+        #: entries, bounding the strong references the kernel retains.
+        self.memo_limit = memo_limit
+        self.counters = _ThreadLocalCounters()
         # Monotonic across resets so stale memo keys can never collide.
         self._ids = itertools.count()
 
@@ -97,44 +140,56 @@ class NodeManager:
     def intern(self, key: Hashable, node: "BExpr") -> "BExpr":
         """Insert *node* under *key* unless an equal node already exists.
 
-        ``setdefault`` is atomic under the GIL, so concurrent constructions
-        from batch-executor threads agree on one canonical object.
+        A lost race between batch-executor threads can briefly yield two
+        structurally-equal objects with distinct ids; that is benign —
+        ``BExpr.__eq__`` falls back to structural comparison, and nid-keyed
+        caches merely miss once.
         """
         winner = self.unique.setdefault(key, node)
         if winner is node:
-            self.intern_misses += 1
+            self.counters.intern_misses += 1
         else:
-            self.intern_hits += 1
+            self.counters.intern_hits += 1
         return winner
 
     def snapshot(self) -> KernelStatistics:
+        """Current table size plus the calling thread's counters."""
+        counters = self.counters
         return KernelStatistics(
             unique_nodes=len(self.unique),
-            intern_hits=self.intern_hits,
-            intern_misses=self.intern_misses,
-            cofactor_hits=self.cofactor_hits,
-            cofactor_misses=self.cofactor_misses,
-            factor_hits=self.factor_hits,
-            factor_misses=self.factor_misses,
+            intern_hits=counters.intern_hits,
+            intern_misses=counters.intern_misses,
+            cofactor_hits=counters.cofactor_hits,
+            cofactor_misses=counters.cofactor_misses,
+            factor_hits=counters.factor_hits,
+            factor_misses=counters.factor_misses,
         )
 
-    def reset(self) -> None:
-        """Drop the unique table and memo tables and zero the counters.
+    def clear_memos(self) -> None:
+        """Drop the cofactor/factor/branch memo tables.
 
-        Safe only when no pre-reset expressions will be combined with
-        post-reset ones (see the module docstring); the constant singletons
-        survive because they live on their classes, not in the table.
+        Always sound — the memos are pure caches — and, unlike
+        :meth:`reset`, this touches neither the unique table nor the
+        counters, so interned identity is preserved. It releases the
+        strong references that keep otherwise-dead expressions alive
+        (the unique table itself holds nodes only weakly).
         """
-        self.unique.clear()
         self.cofactor_memo.clear()
         self.factors_memo.clear()
         self.branch_memo.clear()
-        self.intern_hits = 0
-        self.intern_misses = 0
-        self.cofactor_hits = 0
-        self.cofactor_misses = 0
-        self.factor_hits = 0
-        self.factor_misses = 0
+
+    def reset(self) -> None:
+        """Drop the unique table and memo tables and zero all counters.
+
+        Expressions alive across the reset stop sharing identity with
+        newly built ones (``__eq__`` handles that structurally); the
+        constant singletons survive because they live on their classes,
+        not in the table. Counters on *other* threads reset too, since the
+        whole thread-local set is replaced.
+        """
+        self.unique = weakref.WeakValueDictionary()
+        self.clear_memos()
+        self.counters = _ThreadLocalCounters()
 
 
 #: The process-wide manager used by the expression constructors.
@@ -142,8 +197,15 @@ DEFAULT_MANAGER = NodeManager()
 
 
 def kernel_statistics() -> KernelStatistics:
-    """A snapshot of the default manager's counters."""
+    """A snapshot of the default manager: global table size, this thread's
+    counters."""
     return DEFAULT_MANAGER.snapshot()
+
+
+def clear_kernel_memos() -> None:
+    """Clear the default manager's memo tables (always sound; see
+    :meth:`NodeManager.clear_memos`)."""
+    DEFAULT_MANAGER.clear_memos()
 
 
 def reset_kernel() -> None:

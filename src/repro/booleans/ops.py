@@ -44,9 +44,9 @@ def _condition_single(expr: BExpr, var: int, value: bool) -> BExpr:
     memo_key = (expr.nid, var, value)
     cached = memo.get(memo_key)
     if cached is not None:
-        manager.cofactor_hits += 1
+        manager.counters.cofactor_hits += 1
         return cached
-    manager.cofactor_misses += 1
+    manager.counters.cofactor_misses += 1
     if isinstance(expr, BVar):
         result: BExpr = B_TRUE if value else B_FALSE
     elif isinstance(expr, BNot):
@@ -57,6 +57,8 @@ def _condition_single(expr: BExpr, var: int, value: bool) -> BExpr:
         result = BOr.of(_condition_single(p, var, value) for p in expr.parts)
     else:
         raise TypeError(f"unknown node {expr!r}")
+    if len(memo) >= manager.memo_limit:
+        memo.clear()
     memo[memo_key] = result
     return result
 
@@ -117,9 +119,9 @@ def independent_factors(expr: BExpr) -> list[BExpr]:
     manager = DEFAULT_MANAGER
     cached = manager.factors_memo.get(expr.nid)
     if cached is not None:
-        manager.factor_hits += 1
+        manager.counters.factor_hits += 1
         return list(cached)
-    manager.factor_misses += 1
+    manager.counters.factor_misses += 1
     parts = expr.parts
     n = len(parts)
     parent = list(range(n))
@@ -149,6 +151,8 @@ def independent_factors(expr: BExpr) -> list[BExpr]:
     else:
         builder = BAnd.of if isinstance(expr, BAnd) else BOr.of
         factors = [builder(group) for group in groups.values()]
+    if len(manager.factors_memo) >= manager.memo_limit:
+        manager.factors_memo.clear()
     manager.factors_memo[expr.nid] = tuple(factors)
     return factors
 
@@ -180,6 +184,8 @@ def most_frequent_variable(expr: BExpr) -> int:
     if not counts:
         raise ValueError("expression has no variables")
     best = max(counts, key=lambda v: (counts[v], -v))
+    if len(manager.branch_memo) >= manager.memo_limit:
+        manager.branch_memo.clear()
     manager.branch_memo[expr.nid] = best
     return best
 

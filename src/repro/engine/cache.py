@@ -142,5 +142,29 @@ def expr_fingerprint(expr: Any) -> str:
     Node ids are process-local, which is exactly the lifetime of this
     in-memory cache; they are monotonic across kernel resets, so a stale
     fingerprint can never alias a fresh expression.
+
+    The id identifies the *formula*, not its meaning over the database:
+    variable indices are pool-local (see :func:`lineage_fingerprint`).
     """
     return f"bexpr:{expr.nid}"
+
+
+def lineage_fingerprint(lineage: Any) -> str:
+    """A content hash of a lineage: the interned expression *plus* its
+    variable→fact binding.
+
+    The expression fingerprint alone is ambiguous across queries: ``BVar``
+    indices are assigned by a fresh per-query variable pool, so
+    structurally identical formulas from different queries (e.g. two
+    single-fact Boolean queries both grounding to ``x0``) intern to the
+    same node while their variables name different facts with different
+    probabilities. Hashing the pool's fact list and weights alongside the
+    expression id lets distinct query spellings share an entry exactly
+    when their groundings agree — formula, facts and weights alike.
+    """
+    pool = lineage.pool
+    parts = [expr_fingerprint(lineage.expr)]
+    for fact, probability in zip(pool.fact_of_var, pool.probabilities):
+        parts.append(repr(fact))
+        parts.append(float(probability).hex())
+    return _digest(parts)

@@ -12,7 +12,7 @@ entry kind              key
 ======================  =====================================================
 parsed query            ``("parse", query_fp)``
 grounded lineage        ``("lineage", tid_fp, query_fp)``
-compiled circuit        ``("circuit", tid_fp, lineage_expr_fp)``
+compiled circuit        ``("circuit", tid_fp, lineage_fp)``
 Boolean answer          ``("answer", tid_fp, query_fp, method)``
 per-answer marginals    ``("answers", tid_fp, query_fp·head)``
 ======================  =====================================================
@@ -51,9 +51,10 @@ from ..core.pdb import (
     QueryAnswer,
     explain_answer,
 )
+from ..booleans.kernel import clear_kernel_memos
 from ..core.tid import TupleIndependentDatabase
 from ..logic.terms import Var
-from .cache import LRUCache, expr_fingerprint, query_fingerprint
+from .cache import LRUCache, lineage_fingerprint, query_fingerprint
 from .stats import QueryStats, SessionStats
 
 
@@ -288,10 +289,12 @@ class EngineSession:
         qfp = query_fingerprint(query)
         parsed = self._parse_cached(query, qfp)
         lineage = self._lineage_factory(tid_fp, qfp)(parsed)
-        # Key the circuit by the interned lineage expression, not the query
-        # text: distinct spellings that ground to the same formula share one
-        # compiled decision-DNNF.
-        key = ("circuit", tid_fp, expr_fingerprint(lineage.expr))
+        # Key the circuit by the lineage — interned expression plus its
+        # variable→fact binding — not the query text: distinct spellings
+        # share one compiled decision-DNNF exactly when their groundings
+        # agree. The expression id alone would collide across queries,
+        # since BVar indices restart at 0 in every per-query pool.
+        key = ("circuit", tid_fp, lineage_fingerprint(lineage))
         entry = self.cache.get(key)
         if entry is None:
             compiled = compile_decision_dnnf(lineage.expr, lineage.probabilities())
@@ -333,9 +336,14 @@ class EngineSession:
 
         Not needed after ordinary mutations — the fingerprint keys handle
         those — but useful to release memory or after out-of-band changes
-        when ``tid.touch()`` was forgotten.
+        when ``tid.touch()`` was forgotten. Releasing memory really works:
+        the Boolean kernel's memo tables (pure caches, shared
+        process-wide) are cleared alongside the session cache, and the
+        kernel's unique table holds expressions only weakly, so the
+        dropped lineages and circuits become collectable.
         """
         self.cache.clear()
+        clear_kernel_memos()
 
     def cache_info(self):
         """The cache's hit/miss/eviction counters."""

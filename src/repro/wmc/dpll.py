@@ -35,10 +35,14 @@ from ..kc.circuits import FALSE_LEAF, TRUE_LEAF, Circuit
 class DPLLStatistics:
     """Counters describing one run of the counter.
 
-    The ``kernel_*`` and ``cofactor_memo_*`` fields are deltas of the
-    hash-consing kernel's process-wide counters over the run (plus the
-    final unique-table size), so they attribute interning and cofactor-memo
-    traffic to this query even though the tables are shared.
+    The ``kernel_intern_hits`` and ``cofactor_memo_*`` fields are deltas of
+    the hash-consing kernel's *thread-local* counters over the run: a run
+    executes on one thread, so the deltas attribute interning and
+    cofactor-memo traffic to this query alone even while the engine's
+    batch executor evaluates other queries concurrently (the memo tables
+    themselves stay shared — a hit counted here may have been seeded by
+    another query, which is the point). ``kernel_unique_nodes`` is the
+    process-wide unique-table size at the end of the run.
     """
 
     calls: int = 0

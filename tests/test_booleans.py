@@ -1,6 +1,8 @@
 """Unit tests for repro.booleans: expressions, ops and normal forms."""
 
+import gc
 import itertools
+import threading
 
 import pytest
 
@@ -160,6 +162,60 @@ def test_cofactor_memoization_stable():
     second = cofactors(f, 1)
     assert first[0] is second[0] and first[1] is second[1]
     assert first[1] is B_TRUE  # y=1 satisfies both disjuncts
+
+
+def test_unique_table_releases_dead_expressions():
+    # the unique table holds its nodes weakly: once a formula becomes
+    # unreachable, gc reclaims it and its entries — kernel memory is
+    # bounded by live expressions, not by everything ever built
+    from repro.booleans.kernel import DEFAULT_MANAGER
+
+    gc.collect()
+    base = len(DEFAULT_MANAGER.unique)
+    forest = [bor(bvar(70_000 + i), bvar(71_000 + i)) for i in range(64)]
+    grown = len(DEFAULT_MANAGER.unique)
+    assert grown >= base + 3 * 64  # 64 disjunctions plus 128 fresh literals
+    del forest
+    gc.collect()
+    assert len(DEFAULT_MANAGER.unique) <= grown - 3 * 64
+
+
+def test_memo_tables_are_size_capped():
+    # memo tables keep strong references, so they are cleared wholesale at
+    # memo_limit instead of growing without bound (clearing is sound: the
+    # memos are pure caches)
+    from repro.booleans.kernel import DEFAULT_MANAGER
+
+    old_limit = DEFAULT_MANAGER.memo_limit
+    DEFAULT_MANAGER.memo_limit = 8
+    try:
+        for i in range(40):
+            f = bor(bvar(80_000 + i), bvar(81_000 + i))
+            low, high = cofactors(f, 80_000 + i)
+            assert low is bvar(81_000 + i) and high is B_TRUE
+            assert len(DEFAULT_MANAGER.cofactor_memo) <= 8
+    finally:
+        DEFAULT_MANAGER.memo_limit = old_limit
+
+
+def test_kernel_counters_are_thread_local():
+    # another thread's interning and memo traffic must not leak into this
+    # thread's counters (per-query stats deltas rely on this)
+    from repro.booleans.kernel import kernel_statistics
+
+    def churn():
+        for i in range(16):
+            cofactors(bor(bvar(90_000 + i), bvar(91_000 + i)), 90_000 + i)
+
+    before = kernel_statistics()
+    worker = threading.Thread(target=churn)
+    worker.start()
+    worker.join()
+    after = kernel_statistics()
+    assert after.intern_misses == before.intern_misses
+    assert after.cofactor_misses == before.cofactor_misses
+    # while the shared tables did absorb the worker's nodes
+    assert after.unique_nodes > before.unique_nodes
 
 
 def test_independent_factors_and():

@@ -10,7 +10,12 @@ import pytest
 
 from repro import EngineSession, Method, ProbabilisticDatabase
 from repro.core.tid import TupleIndependentDatabase
-from repro.engine.cache import LRUCache, expr_fingerprint, query_fingerprint
+from repro.engine.cache import (
+    LRUCache,
+    expr_fingerprint,
+    lineage_fingerprint,
+    query_fingerprint,
+)
 from repro.workloads.generators import full_tid, random_tid
 
 from conftest import close
@@ -198,6 +203,26 @@ def test_invalidate_clears_cache(session):
     assert not session.query("R(x), S(x,y)").stats.cache_hit
 
 
+def test_invalidate_releases_kernel_memory():
+    # dropping the cached lineage plus the kernel's memo tables must let
+    # the garbage collector reclaim the grounded expressions: the unique
+    # table holds them only weakly
+    import gc
+
+    from repro.booleans.kernel import DEFAULT_MANAGER
+
+    session = EngineSession(None)
+    for i in range(50):
+        session.add_fact("T", (f"a{i}", f"b{i}"), 0.5)
+        session.add_fact("U", (f"b{i}",), 0.5)
+    session.query("T(x,y), U(y)", Method.DPLL)
+    gc.collect()
+    before = len(DEFAULT_MANAGER.unique)
+    session.invalidate()
+    gc.collect()
+    assert len(DEFAULT_MANAGER.unique) <= before - 50
+
+
 # -- memoized intermediates ---------------------------------------------------
 
 
@@ -216,13 +241,39 @@ def test_circuit_memoized_across_analyses(session):
     query = "R(x), S(x,y)"
     session.tuple_posteriors(query)
     tid_fp = session.tid.fingerprint()
-    # circuit entries are keyed by the interned lineage expression
+    # circuit entries are keyed by the lineage: expression + fact binding
     lineage = session.cache.get(("lineage", tid_fp, query_fingerprint(query)))
-    key = ("circuit", tid_fp, expr_fingerprint(lineage.expr))
+    key = ("circuit", tid_fp, lineage_fingerprint(lineage))
     assert key in session.cache
     hits_before = session.cache.stats.hits
     session.most_probable_world(query)
     assert session.cache.stats.hits > hits_before
+
+
+def test_circuit_cache_distinguishes_isomorphic_lineages():
+    # Regression: R(x) and S(x) both ground to the single literal x0, so
+    # their lineage expressions intern to the same kernel node. Keying the
+    # circuit cache by the expression alone made the second query return
+    # the first query's cached (lineage, circuit) pair — wrong facts and
+    # wrong probabilities. The key must pin the variable→fact binding.
+    tid = TupleIndependentDatabase()
+    tid.add_fact("R", ("a",), 0.3)
+    tid.add_fact("S", ("b",), 0.9)
+    session = EngineSession(tid)
+
+    r_posteriors = session.tuple_posteriors("R(x)")
+    s_posteriors = session.tuple_posteriors("S(x)")
+    assert set(r_posteriors) == {("R", ("a",))}
+    assert close(r_posteriors[("R", ("a",))].prior, 0.3)
+    assert set(s_posteriors) == {("S", ("b",))}
+    assert close(s_posteriors[("S", ("b",))].prior, 0.9)
+
+    r_world, r_p = session.most_probable_world("R(x)")
+    s_world, s_p = session.most_probable_world("S(x)")
+    assert set(r_world) == {("R", ("a",))}
+    assert close(r_p, 0.3)
+    assert set(s_world) == {("S", ("b",))}
+    assert close(s_p, 0.9)
 
 
 def test_answers_memoized_and_parallel_agrees(small_db):

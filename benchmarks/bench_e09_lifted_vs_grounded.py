@@ -18,7 +18,7 @@ from repro.lifted.engine import LiftedEngine
 from repro.lineage.build import lineage_of_ucq
 from repro.logic.cq import UnionOfConjunctiveQueries, parse_cq
 from repro.wmc.dpll import compile_decision_dnnf
-from repro.workloads.generators import full_tid, h2_schema
+from repro.workloads.generators import full_tid
 
 from tables import print_table
 

@@ -22,7 +22,7 @@ pytest for the assertions.
 import argparse
 import time
 
-from repro import EngineSession, Method, ProbabilisticDatabase
+from repro import EngineSession, ProbabilisticDatabase
 from repro.workloads.generators import full_tid
 
 from tables import print_table

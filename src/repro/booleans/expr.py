@@ -109,7 +109,7 @@ class BTrue(BExpr):
             cls._instance = instance
         return instance
 
-    def __reduce__(self):
+    def __reduce__(self) -> tuple:
         return (BTrue, ())
 
     def __repr__(self) -> str:
@@ -136,7 +136,7 @@ class BFalse(BExpr):
             cls._instance = instance
         return instance
 
-    def __reduce__(self):
+    def __reduce__(self) -> tuple:
         return (BFalse, ())
 
     def __repr__(self) -> str:
@@ -172,7 +172,7 @@ class BVar(BExpr):
         self._vars = frozenset((index,))
         return manager.intern(key, self)  # type: ignore[return-value]
 
-    def __reduce__(self):
+    def __reduce__(self) -> tuple:
         return (BVar, (self.index,))
 
     def __repr__(self) -> str:
@@ -207,7 +207,7 @@ class BNot(BExpr):
     def children(self) -> tuple[BExpr, ...]:
         return (self.sub,)
 
-    def __reduce__(self):
+    def __reduce__(self) -> tuple:
         return (BNot, (self.sub,))
 
     def __repr__(self) -> str:
@@ -289,7 +289,7 @@ class BAnd(BExpr):
     def children(self) -> tuple[BExpr, ...]:
         return self.parts
 
-    def __reduce__(self):
+    def __reduce__(self) -> tuple:
         return (BAnd, (self.parts,))
 
     def __repr__(self) -> str:
@@ -346,7 +346,7 @@ class BOr(BExpr):
     def children(self) -> tuple[BExpr, ...]:
         return self.parts
 
-    def __reduce__(self):
+    def __reduce__(self) -> tuple:
         return (BOr, (self.parts,))
 
     def __repr__(self) -> str:

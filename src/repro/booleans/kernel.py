@@ -145,7 +145,9 @@ class NodeManager:
         ``BExpr.__eq__`` falls back to structural comparison, and nid-keyed
         caches merely miss once.
         """
-        winner = self.unique.setdefault(key, node)
+        # Deliberately lock-free: dict.setdefault is atomic under the GIL,
+        # and the lost-race case is benign per the docstring above.
+        winner = self.unique.setdefault(key, node)  # prodb-lint: lockfree
         if winner is node:
             self.counters.intern_misses += 1
         else:
@@ -174,9 +176,11 @@ class NodeManager:
         strong references that keep otherwise-dead expressions alive
         (the unique table itself holds nodes only weakly).
         """
-        self.cofactor_memo.clear()
-        self.factors_memo.clear()
-        self.branch_memo.clear()
+        # Deliberately lock-free: dict.clear() is atomic under the GIL and
+        # the memos are pure caches — a concurrent reader at worst misses.
+        self.cofactor_memo.clear()  # prodb-lint: lockfree
+        self.factors_memo.clear()  # prodb-lint: lockfree
+        self.branch_memo.clear()  # prodb-lint: lockfree
 
     def reset(self) -> None:
         """Drop the unique table and memo tables and zero all counters.

@@ -24,6 +24,13 @@ from ..logic.cq import ConjunctiveQuery
 from ..logic.terms import Var
 from ..wmc.dpll import DPLLCounter
 
+__all__ = [
+    "CountDistribution",
+    "answer_count_distribution",
+    "expected_answer_count",
+    "top_k_answers",
+]
+
 
 @dataclass(frozen=True)
 class CountDistribution:

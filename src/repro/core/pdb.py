@@ -52,8 +52,9 @@ from ..logic.cq import (
 from ..logic.formulas import Formula
 from ..logic.parser import ParseError, parse_sentence
 from ..logic.terms import Var
-from ..plans.plan import execute, execute_boolean, project_boolean
+from ..plans.plan import execute_boolean, project_boolean
 from ..plans.safe_plan import UnsafePlanError, safe_plan
+from ..sanitize import check_probability
 from ..wmc.dpll import DPLLCounter
 from ..wmc.karp_luby import karp_luby
 from ..wmc.sampling import monte_carlo_wmc
@@ -168,6 +169,11 @@ class ProbabilisticDatabase:
             )
         answer = self._dispatch(
             parsed, method, stats=stats, lineage_factory=lineage_factory
+        )
+        # Sanitizer (no-op unless REPRO_SANITIZE=1): every route must
+        # return a probability.
+        check_probability(
+            answer.probability, context=f"route {answer.method.value}"
         )
         stats.route = answer.method.value
         answer.stats = stats

@@ -187,7 +187,11 @@ class TupleIndependentDatabase:
                 probability *= prob
             else:
                 probability *= 1.0 - prob
-        if any(self.probability_of_fact(name, values) == 0.0 for name, values in world):
+        if any(
+            # Only an exactly-impossible fact zeroes a world's probability.
+            self.probability_of_fact(name, values) == 0.0  # prodb-lint: exact
+            for name, values in world
+        ):
             return 0.0
         return probability
 
@@ -196,7 +200,7 @@ class TupleIndependentDatabase:
         domain = self.domain()
         total = 0.0
         for world, probability in self.possible_worlds():
-            if probability == 0.0:
+            if probability == 0.0:  # prodb-lint: exact -- skip impossible worlds
                 continue
             if satisfies(world, domain, sentence):
                 total += probability

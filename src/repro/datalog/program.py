@@ -23,7 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterator, Optional, Sequence
 
-from ..booleans.expr import B_FALSE, BAnd, BExpr, BOr, BVar
+from ..booleans.expr import B_FALSE, BAnd, BExpr, BOr, bvar
 from ..core.tid import TupleIndependentDatabase
 from ..lineage.build import VariablePool
 from ..logic.formulas import Atom
@@ -164,7 +164,7 @@ class DatalogProgram:
 
         lineages = {
             fact: BOr.of(
-                BAnd.of(BVar(v) for v in sorted(term))
+                BAnd.of(bvar(v) for v in sorted(term))
                 for term in sorted(term_set, key=lambda t: (len(t), sorted(t)))
             )
             for fact, term_set in terms.items()

@@ -40,7 +40,7 @@ __all__ = [
 _LAZY = {"EngineSession"}
 
 
-def __getattr__(name: str):
+def __getattr__(name: str) -> object:
     if name in _LAZY:
         from . import session
 

@@ -76,19 +76,19 @@ def run_batch(
 _WORKER_PDB: Optional[ProbabilisticDatabase] = None
 
 
-def _init_worker(facts, domain, options) -> None:
+def _init_worker(facts: list, domain: Optional[tuple], options: dict) -> None:
     global _WORKER_PDB
     tid = TupleIndependentDatabase.from_facts(facts, domain)
     _WORKER_PDB = ProbabilisticDatabase(tid=tid, **options)
 
 
-def _eval_in_worker(item) -> QueryAnswer:
+def _eval_in_worker(item: tuple[str, str]) -> QueryAnswer:
     query, method_value = item
     assert _WORKER_PDB is not None, "process pool initializer did not run"
     return _WORKER_PDB.probability(query, Method(method_value))
 
 
-def _mp_context():
+def _mp_context() -> multiprocessing.context.BaseContext:
     # fork (where available) skips re-importing the package per worker.
     methods = multiprocessing.get_all_start_methods()
     return multiprocessing.get_context("fork" if "fork" in methods else None)
@@ -164,7 +164,7 @@ def parallel_answers(
     probabilities = pool.probability_map()
     items = sorted(lineages.items(), key=lambda kv: repr(kv[0]))
 
-    def count_one(item):
+    def count_one(item: tuple) -> tuple:
         values, expr = item
         result = DPLLCounter().run(expr, probabilities)
         return values, QueryAnswer(

@@ -9,18 +9,20 @@ are content hashes: mutating the database changes its fingerprint (see
 every entry derived from the old contents unreachable — invalidation by
 construction, with stale entries aging out through normal LRU eviction.
 
-This module imports nothing from the rest of the package so that it can be
-loaded from ``repro.engine``'s package init without touching ``repro.core``
-(which itself imports :mod:`repro.engine.stats`).
+This module imports nothing from the rest of the package — except
+:mod:`repro.sanitize`, which itself imports only the standard library — so
+that it can be loaded from ``repro.engine``'s package init without touching
+``repro.core`` (which itself imports :mod:`repro.engine.stats`).
 """
 
 from __future__ import annotations
 
 import hashlib
-import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any, Hashable, Iterable, Optional
+
+from ..sanitize import RANK_CACHE, RankedLock
 
 
 @dataclass
@@ -50,7 +52,9 @@ class LRUCache:
 
     All operations take an internal re-entrant lock, so the cache may be
     shared freely across the worker threads of
-    :meth:`repro.engine.session.EngineSession.query_batch`.
+    :meth:`repro.engine.session.EngineSession.query_batch`. The lock is a
+    :class:`repro.sanitize.RankedLock`: under ``REPRO_SANITIZE=1`` it
+    asserts the engine's lock order (in-flight < cache < stats).
     """
 
     def __init__(self, maxsize: int = 256):
@@ -58,7 +62,7 @@ class LRUCache:
             raise ValueError("maxsize must be at least 1")
         self.maxsize = maxsize
         self._data: OrderedDict[Hashable, Any] = OrderedDict()
-        self._lock = threading.RLock()
+        self._lock = RankedLock(RANK_CACHE, "engine.cache", reentrant=True)
         self.stats = CacheStats()
 
     def get(self, key: Hashable, default: Any = None) -> Any:

@@ -39,7 +39,6 @@ future. See :mod:`repro.engine.batch` for the executor strategies.
 
 from __future__ import annotations
 
-import threading
 from concurrent.futures import Future
 from dataclasses import replace
 from typing import Callable, Iterable, Optional, Sequence, Union
@@ -54,6 +53,7 @@ from ..core.pdb import (
 from ..booleans.kernel import clear_kernel_memos
 from ..core.tid import TupleIndependentDatabase
 from ..logic.terms import Var
+from ..sanitize import RANK_INFLIGHT, RankedLock, audit_kernel, sanitize_enabled
 from .cache import LRUCache, lineage_fingerprint, query_fingerprint
 from .stats import QueryStats, SessionStats
 
@@ -101,7 +101,7 @@ class EngineSession:
         self.cache = LRUCache(cache_size)
         self.stats = SessionStats()
         self._inflight: dict[tuple, Future] = {}
-        self._inflight_lock = threading.Lock()
+        self._inflight_lock = RankedLock(RANK_INFLIGHT, "session.inflight")
 
     # -- convenience passthroughs ---------------------------------------------
 
@@ -212,7 +212,7 @@ class EngineSession:
             with self._inflight_lock:
                 self._inflight.pop(key, None)
 
-    def _parse_cached(self, query: Query, qfp: str):
+    def _parse_cached(self, query: Query, qfp: str) -> object:
         if not isinstance(query, str):
             return query
         key = ("parse", qfp)
@@ -222,8 +222,8 @@ class EngineSession:
             self.cache.put(key, parsed)
         return parsed
 
-    def _lineage_factory(self, tid_fp: str, qfp: str):
-        def factory(parsed):
+    def _lineage_factory(self, tid_fp: str, qfp: str) -> Callable:
+        def factory(parsed: object) -> object:
             key = ("lineage", tid_fp, qfp)
             lineage = self.cache.get(key)
             if lineage is None:
@@ -282,7 +282,7 @@ class EngineSession:
 
     # -- circuit-backed analyses ----------------------------------------------
 
-    def _compiled(self, query: Query):
+    def _compiled(self, query: Query) -> tuple:
         from ..wmc.dpll import compile_decision_dnnf
 
         tid_fp = self.tid.fingerprint()
@@ -344,8 +344,12 @@ class EngineSession:
         """
         self.cache.clear()
         clear_kernel_memos()
+        if sanitize_enabled():
+            # The kernel just shed its memo strong references: a good
+            # moment to cross-check the surviving unique-table entries.
+            audit_kernel()
 
-    def cache_info(self):
+    def cache_info(self) -> object:
         """The cache's hit/miss/eviction counters."""
         return self.cache.stats
 

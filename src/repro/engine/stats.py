@@ -25,11 +25,12 @@ that ``core/pdb.py`` can depend on it without an import cycle.
 
 from __future__ import annotations
 
-import threading
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, Optional
+
+from ..sanitize import RANK_STATS, RankedLock
 
 #: Canonical stage order for reports; unknown stages are appended after.
 STAGE_ORDER = ("lookup", "parse", "lineage", "compile", "count")
@@ -65,7 +66,9 @@ class QueryStats:
             self.add_stage(name, time.perf_counter() - start)
 
     def add_stage(self, name: str, seconds: float) -> None:
-        self.stages[name] = self.stages.get(name, 0.0) + seconds
+        # A QueryStats record is owned by the single thread executing its
+        # query; it is never shared across threads while being written.
+        self.stages[name] = self.stages.get(name, 0.0) + seconds  # prodb-lint: lockfree
 
     @property
     def total(self) -> float:
@@ -121,8 +124,10 @@ class SessionStats:
     routes: Dict[str, int] = field(default_factory=dict)
     stage_seconds: Dict[str, float] = field(default_factory=dict)
     counters: Dict[str, int] = field(default_factory=dict)
-    _lock: threading.Lock = field(
-        default_factory=threading.Lock, repr=False, compare=False
+    _lock: RankedLock = field(
+        default_factory=lambda: RankedLock(RANK_STATS, "session.stats"),
+        repr=False,
+        compare=False,
     )
 
     def record(self, stats: Optional[QueryStats]) -> None:

@@ -80,7 +80,7 @@ def differentiate(
             raise TypeError(f"unknown node {node!r}")
 
     total = value.get(start, 1.0 if start == TRUE_LEAF else 0.0)
-    if total == 0.0:
+    if total == 0.0:  # prodb-lint: exact -- division guard
         raise ZeroDivisionError("P(F) = 0: posteriors are undefined")
 
     # downward pass: delta(n) = ∂P(F)/∂value(n)
@@ -92,7 +92,8 @@ def differentiate(
     for node_id in reversed(order):
         node = circuit.nodes[node_id]
         d = delta.get(node_id, 0.0)
-        if d == 0.0 and not isinstance(node, (Decision, Literal)):
+        # Skipping only exactly-zero deltas is sound (no tolerance wanted).
+        if d == 0.0 and not isinstance(node, (Decision, Literal)):  # prodb-lint: exact
             continue
         if isinstance(node, Decision):
             p = probabilities[node.var]

@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Mapping, Optional, Sequence
 
 from ..booleans.expr import BAnd, BExpr, BFalse, BNot, BOr, BTrue, BVar
+from ..sanitize import check_obdd
 
 FALSE_NODE = 0
 TRUE_NODE = 1
@@ -228,6 +229,9 @@ def compile_obdd(
         raise ValueError(f"order is missing variables: {sorted(missing)}")
     manager = OBDD(chosen)
     root = manager.from_expr(expr)
+    # Sanitizer (no-op unless REPRO_SANITIZE=1): every edge must descend
+    # strictly in the manager's variable order.
+    check_obdd(manager, root)
     return manager, root
 
 

@@ -10,8 +10,9 @@ before any S-tuple forces the diagram to remember exponentially much state).
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Callable, Sequence
 
+from ..booleans.expr import BExpr
 from ..lineage.build import Lineage
 from ..logic.cq import ConjunctiveQuery
 from ..logic.terms import Var
@@ -44,7 +45,7 @@ def hierarchical_order(query: ConjunctiveQuery, lineage: Lineage) -> list[int]:
     ranking = hierarchy_variable_ranking(query)
     atom_of_predicate = {atom.predicate: atom for atom in query.atoms}
 
-    def sort_key(var_index: int):
+    def sort_key(var_index: int) -> tuple:
         predicate, values = lineage.fact(var_index)
         atom = atom_of_predicate.get(predicate)
         key = []
@@ -74,12 +75,12 @@ def predicate_major_order(lineage: Lineage) -> list[int]:
     )
 
 
-def order_from_facts(lineage: Lineage, key) -> list[int]:
+def order_from_facts(lineage: Lineage, key: Callable) -> list[int]:
     """Order lineage variables by an arbitrary fact key function."""
     return sorted(range(lineage.variable_count), key=lambda i: key(lineage.fact(i)))
 
 
-def exhaustive_minimum_size(expr, variables: Sequence[int]) -> int:
+def exhaustive_minimum_size(expr: BExpr, variables: Sequence[int]) -> int:
     """Minimum OBDD size over *all* orders (factorially expensive).
 
     Only usable for a handful of variables; it certifies the "every OBDD is

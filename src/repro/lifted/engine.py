@@ -35,8 +35,6 @@ from ..logic.formulas import (
     And,
     Atom,
     Bottom,
-    Exists,
-    Forall,
     Formula,
     Not,
     Or,

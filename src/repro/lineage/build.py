@@ -18,7 +18,7 @@ their outputs are interchangeable.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterator, Mapping, Optional
+from typing import Iterator, Optional
 
 from ..booleans.expr import (
     B_FALSE,
@@ -28,6 +28,7 @@ from ..booleans.expr import (
     BOr,
     BVar,
     bnot,
+    bvar,
 )
 from ..core.tid import TupleIndependentDatabase
 from ..logic.cq import ConjunctiveQuery, UnionOfConjunctiveQueries
@@ -67,7 +68,7 @@ class VariablePool:
             self.var_of_fact[fact] = index
             self.fact_of_var.append(fact)
             self.probabilities.append(probability)
-            self.node_of_var.append(BVar(index))
+            self.node_of_var.append(bvar(index))
         return index
 
     def literal(self, fact: Fact, probability: float) -> BVar:

@@ -19,9 +19,7 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Iterator, Mapping
 
-from ..booleans.expr import BExpr, BVar, bor, evaluate
-from ..booleans.ops import substitute_exprs
-from ..booleans.expr import BAnd, BOr, bnot
+from ..booleans.expr import BAnd, BExpr, BOr, bnot, bor, bvar, evaluate
 
 
 @dataclass(frozen=True)
@@ -98,7 +96,7 @@ def encode_factor_iff(
     remaining = [f for i, f in enumerate(network.factors) if i != factor_index]
     weights = dict(network.variable_weights)
     weights[fresh_var] = factor.weight
-    x = BVar(fresh_var)
+    x = bvar(fresh_var)
     g = factor.formula
     constraint = BOr.of(
         (BAnd.of((x, g)), BAnd.of((bnot(x), bnot(g))))
@@ -116,12 +114,12 @@ def encode_factor_or(
     standard value in [0, 1] (the appendix's closing observation).
     """
     factor = network.factors[factor_index]
-    if factor.weight == 1.0:
+    if factor.weight == 1.0:  # prodb-lint: exact -- w = 1 exactly is vacuous
         raise ValueError("weight 1 factors are vacuous; drop them instead")
     remaining = [f for i, f in enumerate(network.factors) if i != factor_index]
     weights = dict(network.variable_weights)
     weights[fresh_var] = 1.0 / (factor.weight - 1.0)
-    constraint = bor(BVar(fresh_var), factor.formula)
+    constraint = bor(bvar(fresh_var), factor.formula)
     return BooleanMarkovNetwork(weights, remaining), constraint
 
 

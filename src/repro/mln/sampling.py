@@ -23,6 +23,14 @@ from ..logic.formulas import Formula
 from ..logic.semantics import satisfies
 from .mln import MarkovLogicNetwork
 
+__all__ = [
+    "ConditionalEstimate",
+    "MLNEstimate",
+    "importance_sample_mln",
+    "rejection_sample_conditional",
+    "required_samples_for_conditional",
+]
+
 
 @dataclass(frozen=True)
 class ConditionalEstimate:

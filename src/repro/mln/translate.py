@@ -24,7 +24,6 @@ from enum import Enum
 from ..core.tid import TupleIndependentDatabase
 from ..lineage.build import lineage_of_sentence
 from ..logic.formulas import And, Atom, Formula, Or, forall_many, iff
-from ..logic.terms import Var
 from ..wmc.dpll import dpll_probability
 from .mln import MarkovLogicNetwork
 
@@ -113,7 +112,7 @@ def conditional_probability(
         denominator = dpll_probability(gamma.expr, gamma.probabilities())
     else:
         raise ValueError(f"unknown method {method!r}")
-    if denominator == 0.0:
+    if denominator == 0.0:  # prodb-lint: exact -- division guard
         raise ZeroDivisionError("constraint has probability zero")
     return numerator / denominator
 
@@ -157,6 +156,6 @@ def mln_query_probability_symmetric(
         db.add_relation(name, relation.arity, probabilities.pop())
     joint = symmetric_probability(And.of((query, translated.constraint)), db)
     denominator = symmetric_probability(translated.constraint, db)
-    if denominator == 0.0:
+    if denominator == 0.0:  # prodb-lint: exact -- division guard
         raise ZeroDivisionError("constraint has probability zero")
     return min(max(joint / denominator, 0.0), 1.0)

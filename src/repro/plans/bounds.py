@@ -20,6 +20,7 @@ from ..booleans.forms import dnf_occurrence_counts, to_dnf
 from ..core.tid import TupleIndependentDatabase
 from ..lineage.build import lineage_of_cq
 from ..logic.cq import ConjunctiveQuery
+from ..sanitize import check_bounds
 from .dissociation import Dissociation, minimal_dissociations
 from .plan import execute_boolean, project_boolean
 from .safe_plan import safe_plan
@@ -97,6 +98,11 @@ def extensional_bounds(
     dissociations = minimal_dissociations(query)
     uppers = tuple(plan_upper_bound(query, db, d) for d in dissociations)
     lowers = tuple(plan_lower_bound(query, db, d) for d in dissociations)
+    # Sanitizer (no-op unless REPRO_SANITIZE=1): Theorem 6.1 guarantees
+    # every lower bound sits below every upper bound.
+    check_bounds(
+        max(lowers), min(uppers), context="extensional sandwich (Thm 6.1)"
+    )
     return BoundsResult(
         lower=max(lowers),
         upper=min(uppers),

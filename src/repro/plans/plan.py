@@ -18,7 +18,6 @@ from dataclasses import dataclass
 from typing import Union
 
 from ..core.tid import TupleIndependentDatabase
-from ..logic.cq import ConjunctiveQuery
 from ..logic.formulas import Atom
 from ..logic.terms import Const, Var
 from ..relational.algebra import independent_project, join

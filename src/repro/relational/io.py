@@ -17,6 +17,14 @@ from .relation import Relation
 
 PathLike = Union[str, Path]
 
+__all__ = [
+    "PathLike",
+    "load_relation",
+    "load_tid",
+    "save_relation",
+    "save_tid",
+]
+
 
 def load_relation(path: PathLike, name: str | None = None) -> Relation:
     """Load one relation from a CSV file (see module docstring)."""

@@ -1,0 +1,346 @@
+"""Opt-in runtime sanitizer: audit engine invariants while they happen.
+
+The static rules of ``prodb_lint`` catch invariant violations visible in
+the source; this module catches the dynamic ones. It is **off by default**
+— every hook returns immediately unless sanitizing was requested — so the
+production paths pay one attribute read. Enable it either way:
+
+* environment: ``REPRO_SANITIZE=1 python -m pytest ...``
+* programmatically: ``from repro.sanitize import prodb_sanitize;
+  prodb_sanitize(True)``
+
+What is audited when enabled:
+
+* **circuit well-formedness** — every circuit recorded by the DPLL counter
+  is re-checked against its target language (FBDD: no repeated decision on
+  a path; decision-DNNF: additionally independent ∧; d-DNNF: additionally
+  deterministic ∨, checked semantically and therefore only on small
+  circuits);
+* **OBDD order respect** — levels strictly increase along every edge of a
+  compiled diagram;
+* **probability domain** — every probability leaving the façade lies in
+  ``[0, 1]`` up to :data:`TOLERANCE`; extensional bound sandwiches satisfy
+  ``lower ≤ upper``;
+* **kernel unique-table consistency** — each interned node is stored under
+  exactly the key its structure dictates, and the table holds no aliases;
+* **lock ordering** — the engine's locks carry ranks
+  (:data:`RANK_INFLIGHT` < :data:`RANK_CACHE` < :data:`RANK_STATS`) and a
+  :class:`RankedLock` refuses acquisition out of rank order, turning a
+  potential deadlock into an immediate :class:`LockOrderError`.
+
+Failures raise :class:`SanitizerError` subclasses (which extend
+``AssertionError``: a sanitizer failure is a broken internal invariant,
+never a user error).
+
+This module imports only the standard library, so any engine module —
+including :mod:`repro.engine.cache`, which must not import the rest of the
+package — can depend on it without creating a cycle.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from typing import Any, Iterable, Optional
+
+__all__ = [
+    "BoundsOrderError",
+    "CircuitInvariantError",
+    "KernelTableError",
+    "LockOrderError",
+    "OrderViolationError",
+    "ProbabilityDomainError",
+    "RANK_CACHE",
+    "RANK_INFLIGHT",
+    "RANK_STATS",
+    "RankedLock",
+    "SanitizerError",
+    "TOLERANCE",
+    "audit_kernel",
+    "check_bounds",
+    "check_circuit",
+    "check_obdd",
+    "check_probability",
+    "prodb_sanitize",
+    "sanitize_enabled",
+]
+
+#: Absolute slack allowed on probability-domain and bound-order checks;
+#: exact routes accumulate rounding of this order over long sum/products.
+TOLERANCE = 1e-9
+
+#: Node-count cap above which the polynomial circuit audits are skipped
+#: (the sanitizer must not turn an O(n) count into the dominant cost).
+MAX_AUDIT_NODES = 20_000
+
+#: Variable-count cap for the *semantic* d-DNNF determinism audit, which
+#: enumerates assignments per ∨ node.
+MAX_SEMANTIC_VARS = 12
+
+_enabled = os.environ.get("REPRO_SANITIZE", "").strip() not in ("", "0", "false")
+
+
+def prodb_sanitize(on: bool = True) -> bool:
+    """Enable/disable the sanitizer; returns the previous state."""
+    global _enabled
+    previous = _enabled
+    _enabled = bool(on)
+    return previous
+
+
+def sanitize_enabled() -> bool:
+    return _enabled
+
+
+class SanitizerError(AssertionError):
+    """An engine invariant failed at runtime (sanitizer mode)."""
+
+
+class CircuitInvariantError(SanitizerError):
+    """A compiled circuit violates its target language's invariants."""
+
+
+class OrderViolationError(SanitizerError):
+    """An OBDD edge does not respect the manager's variable order."""
+
+
+class ProbabilityDomainError(SanitizerError):
+    """A probability left the unit interval beyond :data:`TOLERANCE`."""
+
+
+class BoundsOrderError(SanitizerError):
+    """An extensional bound sandwich came out inverted."""
+
+
+class KernelTableError(SanitizerError):
+    """The hash-consing unique table disagrees with node structure."""
+
+
+class LockOrderError(SanitizerError):
+    """Engine locks were acquired out of rank order."""
+
+
+# -- circuits ----------------------------------------------------------------
+
+
+def check_circuit(circuit: Any, kind: str = "decision-dnnf") -> None:
+    """Audit a :class:`repro.kc.circuits.Circuit` against *kind*.
+
+    *kind* is ``"fbdd"``, ``"decision-dnnf"`` or ``"d-dnnf"``. Oversized
+    circuits are skipped (see :data:`MAX_AUDIT_NODES`): the sanitizer is a
+    best-effort tripwire, not a proof.
+    """
+    if not _enabled or circuit is None:
+        return
+    if circuit.size() > MAX_AUDIT_NODES:
+        return
+    if kind == "fbdd":
+        ok = circuit.check_fbdd()
+    elif kind == "decision-dnnf":
+        ok = circuit.check_decision_dnnf()
+    elif kind == "d-dnnf":
+        if len(circuit.variables()) > MAX_SEMANTIC_VARS:
+            ok = circuit.check_decision_dnnf()
+        else:
+            ok = circuit.check_d_dnnf()
+    else:
+        raise ValueError(f"unknown circuit kind {kind!r}")
+    if not ok:
+        raise CircuitInvariantError(
+            f"compiled circuit violates the {kind} invariants "
+            f"({circuit.size()} nodes, root {circuit.root})"
+        )
+
+
+def check_obdd(manager: Any, root: int) -> None:
+    """Audit one OBDD root: levels strictly increase along every edge."""
+    if not _enabled:
+        return
+    terminal_level = len(manager.order)
+    for index in manager.reachable(root):
+        level, lo, hi = manager.node(index)
+        for child in (lo, hi):
+            child_level = (
+                terminal_level if manager.is_terminal(child) else manager.node(child)[0]
+            )
+            if child_level <= level:
+                raise OrderViolationError(
+                    f"OBDD node {index} (level {level}, variable "
+                    f"{manager.var_at(level)}) has child {child} at level "
+                    f"{child_level}: variable order not respected"
+                )
+
+
+# -- probabilities -----------------------------------------------------------
+
+
+def check_probability(value: float, context: str = "") -> None:
+    """Assert ``0 ≤ value ≤ 1`` up to :data:`TOLERANCE`."""
+    if not _enabled:
+        return
+    if not (-TOLERANCE <= value <= 1.0 + TOLERANCE):
+        where = f" ({context})" if context else ""
+        raise ProbabilityDomainError(
+            f"probability {value!r} outside [0, 1]{where}"
+        )
+
+
+def check_bounds(lower: float, upper: float, context: str = "") -> None:
+    """Assert a bound sandwich is ordered: ``lower ≤ upper`` up to tolerance."""
+    if not _enabled:
+        return
+    check_probability(lower, context=f"lower bound {context}".strip())
+    check_probability(upper, context=f"upper bound {context}".strip())
+    if lower > upper + TOLERANCE:
+        where = f" ({context})" if context else ""
+        raise BoundsOrderError(
+            f"inverted bound sandwich: lower {lower!r} > upper {upper!r}{where}"
+        )
+
+
+# -- kernel ------------------------------------------------------------------
+
+
+def _expected_table_key(node: Any) -> Optional[tuple]:
+    """The unique-table key *node*'s structure dictates (None: not tabled)."""
+    tag = type(node).__name__
+    if tag == "BVar":
+        return ("v", node.index)
+    if tag == "BNot":
+        return ("n", node.sub.nid)
+    if tag == "BAnd":
+        return ("a", tuple(p.nid for p in node.parts))
+    if tag == "BOr":
+        return ("o", tuple(p.nid for p in node.parts))
+    return None  # constants live on their classes, not in the table
+
+
+def audit_kernel(manager: Any = None, force: bool = False) -> int:
+    """Audit the unique table of *manager* (default: the global kernel).
+
+    Recomputes every live node's structural table key and verifies the
+    table stores the node under exactly that key, with no two keys mapping
+    to one node. Returns the number of entries audited. Pass ``force=True``
+    to audit even when the sanitizer is disabled (used by tests).
+    """
+    if not _enabled and not force:
+        return 0
+    if manager is None:
+        from .booleans.kernel import DEFAULT_MANAGER
+
+        manager = DEFAULT_MANAGER
+    # Snapshot first: iterating a WeakValueDictionary while the GC drops
+    # entries is unsafe.
+    entries = list(manager.unique.items())
+    owner_of: dict[int, tuple] = {}
+    for key, node in entries:
+        expected = _expected_table_key(node)
+        if expected is None:
+            raise KernelTableError(
+                f"constant node {node!r} found in the unique table under {key!r}"
+            )
+        if key != expected:
+            raise KernelTableError(
+                f"unique-table entry {key!r} stores node {node!r} whose "
+                f"structure dictates key {expected!r}"
+            )
+        previous = owner_of.get(node.nid)
+        if previous is not None:
+            raise KernelTableError(
+                f"node nid={node.nid} is tabled under both {previous!r} "
+                f"and {key!r}"
+            )
+        owner_of[node.nid] = key
+    return len(entries)
+
+
+# -- lock ordering -----------------------------------------------------------
+
+#: Rank of :class:`repro.engine.session.EngineSession`'s in-flight lock.
+RANK_INFLIGHT = 10
+#: Rank of :class:`repro.engine.cache.LRUCache`'s lock.
+RANK_CACHE = 20
+#: Rank of :class:`repro.engine.stats.SessionStats`'s lock.
+RANK_STATS = 30
+
+_held = threading.local()
+
+
+def _held_stack() -> list:
+    stack = getattr(_held, "stack", None)
+    if stack is None:
+        stack = _held.stack = []
+    return stack
+
+
+class RankedLock:
+    """A lock that, under the sanitizer, enforces rank-ordered acquisition.
+
+    Ranks must strictly increase down any acquisition chain: holding a
+    rank-20 lock while taking a rank-10 one raises :class:`LockOrderError`
+    on the spot — the deadlock-shaped bug surfaces deterministically
+    instead of hanging some unlucky run. Re-entrant re-acquisition of the
+    *same* lock is always allowed (the underlying lock is an ``RLock``
+    when ``reentrant=True``).
+
+    With the sanitizer off, this is a plain ``with``-able lock with two
+    extra attribute reads per acquisition.
+    """
+
+    __slots__ = ("_lock", "rank", "name", "reentrant")
+
+    def __init__(self, rank: int, name: str, reentrant: bool = False):
+        self.rank = rank
+        self.name = name
+        self.reentrant = reentrant
+        self._lock = threading.RLock() if reentrant else threading.Lock()
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        if _enabled:
+            stack = _held_stack()
+            if stack:
+                top_rank, top_lock = stack[-1]
+                held_same = self.reentrant and any(
+                    lock is self for _, lock in stack
+                )
+                if top_rank >= self.rank and not held_same:
+                    raise LockOrderError(
+                        f"acquiring {self.name!r} (rank {self.rank}) while "
+                        f"holding {top_lock.name!r} (rank {top_rank}): lock "
+                        "ranks must strictly increase"
+                    )
+            acquired = self._lock.acquire(blocking, timeout)
+            if acquired:
+                _held_stack().append((self.rank, self))
+            return acquired
+        return self._lock.acquire(blocking, timeout)
+
+    def release(self) -> None:
+        if _enabled:
+            stack = _held_stack()
+            for index in range(len(stack) - 1, -1, -1):
+                if stack[index][1] is self:
+                    del stack[index]
+                    break
+        self._lock.release()
+
+    def __enter__(self) -> "RankedLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.release()
+
+
+def assert_lock_order(ranks: Iterable[int]) -> None:
+    """Assert *ranks* (an acquisition chain) is strictly increasing."""
+    if not _enabled:
+        return
+    previous: Optional[int] = None
+    for rank in ranks:
+        if previous is not None and rank <= previous:
+            raise LockOrderError(
+                f"lock rank {rank} acquired after rank {previous}: lock "
+                "ranks must strictly increase"
+            )
+        previous = rank

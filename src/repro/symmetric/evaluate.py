@@ -14,7 +14,7 @@ database in time polynomial in the domain size:
 
 from __future__ import annotations
 
-from ..logic.formulas import Exists, Forall, Formula, Not
+from ..logic.formulas import Exists, Formula, Not
 from ..logic.transform import to_nnf
 from .scott import ScottResult, direct_normal_form, scott_normal_form
 from .symmetric_db import SymmetricDatabase

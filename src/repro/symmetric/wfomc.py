@@ -104,7 +104,7 @@ def wfomc(problem: WFOMCProblem, n: int) -> float:
         for name, value in nullary_values.items():
             w_true, w_false = problem.weights[name]
             nullary_weight *= w_true if value else w_false
-        if nullary_weight == 0.0:
+        if math.isclose(nullary_weight, 0.0):
             continue
         cells = _build_cells(problem, unary, binary, nullary_values)
         if not cells:

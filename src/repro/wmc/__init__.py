@@ -13,6 +13,7 @@ from .dpll import (
     DPLLResult,
     DPLLStatistics,
     compile_decision_dnnf,
+    compile_fbdd,
     dpll_probability,
 )
 from .sampling import (
@@ -39,6 +40,7 @@ __all__ = [
     "DPLLResult",
     "DPLLStatistics",
     "compile_decision_dnnf",
+    "compile_fbdd",
     "dpll_probability",
     "MonteCarloEstimate",
     "hoeffding_samples",

@@ -29,6 +29,7 @@ from ..booleans.expr import B_FALSE, B_TRUE, BAnd, BExpr, BOr
 from ..booleans.kernel import kernel_statistics
 from ..booleans.ops import cofactors, independent_factors, most_frequent_variable
 from ..kc.circuits import FALSE_LEAF, TRUE_LEAF, Circuit
+from ..sanitize import check_circuit
 
 
 @dataclass
@@ -167,6 +168,12 @@ class DPLLCounter:
         probability, root = count(expr)
         if circuit is not None:
             circuit.root = root
+            # Sanitizer (no-op unless REPRO_SANITIZE=1): the recorded trace
+            # must lie in its target language — FBDD without the component
+            # rule, decision-DNNF with it.
+            check_circuit(
+                circuit, "decision-dnnf" if self.use_components else "fbdd"
+            )
         kernel_after = kernel_statistics()
         statistics.kernel_unique_nodes = kernel_after.unique_nodes
         statistics.kernel_intern_hits = (

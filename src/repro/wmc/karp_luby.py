@@ -60,8 +60,11 @@ def karp_luby(
 
     Clauses use the literal encoding of :mod:`repro.booleans.forms`. Clauses
     with probability 0 are dropped; an empty clause list yields estimate 0.
+
+    The default RNG is seeded so runs are reproducible; pass ``rng`` for an
+    independent stream.
     """
-    rng = rng if rng is not None else random.Random()
+    rng = rng if rng is not None else random.Random(0)
     live = [c for c in clauses if clause_probability(c, probabilities) > 0.0]
     if not live:
         return KarpLubyEstimate(0.0, 0, epsilon, delta)

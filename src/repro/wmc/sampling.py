@@ -41,8 +41,12 @@ def monte_carlo_wmc(
     rng: Optional[random.Random] = None,
     samples: Optional[int] = None,
 ) -> MonteCarloEstimate:
-    """Estimate P(expr) by sampling assignments variable-by-variable."""
-    rng = rng if rng is not None else random.Random()
+    """Estimate P(expr) by sampling assignments variable-by-variable.
+
+    The default RNG is seeded so runs are reproducible; pass ``rng`` for an
+    independent stream.
+    """
+    rng = rng if rng is not None else random.Random(0)
     n = samples if samples is not None else hoeffding_samples(epsilon, delta)
     variables = sorted(expr.variables())
     hits = 0
@@ -61,8 +65,12 @@ def monte_carlo_event(
     rng: Optional[random.Random] = None,
     samples: Optional[int] = None,
 ) -> MonteCarloEstimate:
-    """Estimate P(event) for an arbitrary world sampler (e.g. a TID)."""
-    rng = rng if rng is not None else random.Random()
+    """Estimate P(event) for an arbitrary world sampler (e.g. a TID).
+
+    The default RNG is seeded so runs are reproducible; pass ``rng`` for an
+    independent stream.
+    """
+    rng = rng if rng is not None else random.Random(0)
     n = samples if samples is not None else hoeffding_samples(epsilon, delta)
     hits = 0
     for _ in range(n):

@@ -3,11 +3,19 @@
 from __future__ import annotations
 
 import random
+import sys
+from pathlib import Path
 
 import pytest
 
 from repro.core.tid import TupleIndependentDatabase
 from repro.workloads.generators import full_tid, random_tid
+
+# The repo-specific linter lives outside the installable package, in
+# tools/prodb_lint; make it importable for its unit tests.
+_TOOLS = str(Path(__file__).resolve().parent.parent / "tools")
+if _TOOLS not in sys.path:
+    sys.path.insert(0, _TOOLS)
 
 TOLERANCE = 1e-9
 

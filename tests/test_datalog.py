@@ -138,7 +138,7 @@ def test_self_loop():
 def test_unreachable_pair_has_probability_zero():
     edges = {("a", "b"): 0.5, ("c", "d"): 0.5}
     program = reachability_program(graph_db(edges))
-    assert program.fact_probability("path", ("a", "d")) == 0.0
+    assert program.fact_probability("path", ("a", "d")) == 0.0  # prodb-lint: exact
 
 
 def test_query_with_pattern():

@@ -94,7 +94,7 @@ def test_random_formulas_match_brute_force():
         expr = bor(*terms)
         if not expr.variables():
             continue
-        if brute_force_wmc(expr, probabilities) == 0.0:
+        if brute_force_wmc(expr, probabilities) == 0.0:  # prodb-lint: exact
             continue
         check_all_posteriors(expr, probabilities)
 

@@ -91,7 +91,7 @@ def test_nonliftable_reports_subquery(random_db):
 def test_empty_relation_handled(random_db):
     # query over a predicate with no tuples: probability 0
     engine = LiftedEngine(random_db)
-    assert engine.probability(parse_cq("Missing(x)")) == 0.0
+    assert engine.probability(parse_cq("Missing(x)")) == 0.0  # prodb-lint: exact
 
 
 def test_probability_one_tuples(random_db):

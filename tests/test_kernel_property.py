@@ -175,7 +175,8 @@ def structural_clone(expr: BExpr) -> BExpr:
     if isinstance(expr, (BTrue, BFalse)):
         return expr
     if isinstance(expr, BVar):
-        return BVar(expr.index)
+        # Deliberately re-invokes the raw constructor to exercise interning.
+        return BVar(expr.index)  # prodb-lint: allow-construct
     if isinstance(expr, BNot):
         return bnot(structural_clone(expr.sub))
     parts = [structural_clone(p) for p in reversed(expr.parts)]

@@ -38,7 +38,7 @@ def test_soft_constraint_rejects_negative_weight():
 def test_groundings_count(manager_mln):
     factors = manager_mln.ground()
     assert len(factors) == 4  # 2 × 2 substitutions of (m, e)
-    assert all(w == 3.9 for w, _ in factors)
+    assert all(w == 3.9 for w, _ in factors)  # prodb-lint: exact
 
 
 def test_possible_tuples(manager_mln):
@@ -78,8 +78,8 @@ def test_hard_constraint_zeroes_violating_worlds():
 def test_mln_to_tid_structure(manager_mln):
     encoded = mln_to_tid(manager_mln, Encoding.OR)
     db = encoded.database
-    assert db.probability_of_fact("Manager", ("a", "b")) == 0.5
-    assert db.probability_of_fact("HighComp", ("a",)) == 0.5
+    assert db.probability_of_fact("Manager", ("a", "b")) == 0.5  # prodb-lint: exact
+    assert db.probability_of_fact("HighComp", ("a",)) == 0.5  # prodb-lint: exact
     # or-encoding: auxiliary probability 1/w
     assert close(db.probability_of_fact("Aux0", ("a", "b")), 1 / 3.9)
     assert encoded.database.is_symmetric()

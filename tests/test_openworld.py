@@ -53,7 +53,7 @@ def test_completion_fills_unlisted(owdb):
 def test_completion_partial(owdb):
     completed = owdb.completion(["R"])
     assert close(completed.probability_of_fact("R", ("b",)), 0.2)
-    assert completed.probability_of_fact("S", ("b", "a")) == 0.0
+    assert completed.probability_of_fact("S", ("b", "a")) == 0.0  # prodb-lint: exact
 
 
 def test_monotone_interval_brackets_truth(owdb):

@@ -91,5 +91,5 @@ def test_bounds_zero_when_relation_empty():
     q = parse_cq("R0(x), E1(x,y), E2(y,z)")
     db = random_tid(1, 2, schema=(("E1", 2), ("E2", 2)))  # no R0 at all
     bounds = extensional_bounds(q, db)
-    assert bounds.lower == 0.0
-    assert bounds.upper == 0.0
+    assert bounds.lower == 0.0  # prodb-lint: exact
+    assert bounds.upper == 0.0  # prodb-lint: exact

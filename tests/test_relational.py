@@ -39,8 +39,8 @@ def test_oplus_definition():
 
 
 def test_relation_add_and_probability(r):
-    assert r.probability(("a",)) == 0.5
-    assert r.probability(("zzz",)) == 0.0
+    assert r.probability(("a",)) == 0.5  # prodb-lint: exact
+    assert r.probability(("zzz",)) == 0.0  # prodb-lint: exact
     assert ("a",) in r and ("zzz",) not in r
 
 
@@ -62,8 +62,8 @@ def test_active_domain(s):
 
 def test_map_probabilities(r):
     doubled = r.map_probabilities(lambda p: p / 2)
-    assert doubled.probability(("a",)) == 0.25
-    assert r.probability(("a",)) == 0.5  # original untouched
+    assert doubled.probability(("a",)) == 0.25  # prodb-lint: exact
+    assert r.probability(("a",)) == 0.5  # prodb-lint: exact -- original untouched
 
 
 def test_is_deterministic():
@@ -84,7 +84,7 @@ def test_select_eq(s):
 def test_project_set_semantics(s):
     out = project(s, ["x"])
     assert set(out.rows) == {("a",), ("b",)}
-    assert all(p == 1.0 for p in out.rows.values())
+    assert all(p == 1.0 for p in out.rows.values())  # prodb-lint: exact
 
 
 def test_independent_project(s):

@@ -26,8 +26,8 @@ def test_add_relation_schema_conflict():
 
 
 def test_probability_of_absent_fact_is_zero(small_db):
-    assert small_db.probability_of_fact("R", ("zzz",)) == 0.0
-    assert small_db.probability_of_fact("Nope", ("a",)) == 0.0
+    assert small_db.probability_of_fact("R", ("zzz",)) == 0.0  # prodb-lint: exact
+    assert small_db.probability_of_fact("Nope", ("a",)) == 0.0  # prodb-lint: exact
 
 
 def test_domain_active_vs_explicit():
@@ -62,7 +62,7 @@ def test_world_probability_matches_enumeration(small_db):
 
 
 def test_world_probability_impossible_tuple(small_db):
-    assert small_db.world_probability({("R", ("zzz",))}) == 0.0
+    assert small_db.world_probability({("R", ("zzz",))}) == 0.0  # prodb-lint: exact
 
 
 def test_brute_force_probability_single_tuple(small_db):
@@ -137,10 +137,10 @@ def test_from_facts_mapping():
 
 def test_from_facts_triples():
     db = TupleIndependentDatabase.from_facts([("R", ("a",), 0.5)])
-    assert db.probability_of_fact("R", ("a",)) == 0.5
+    assert db.probability_of_fact("R", ("a",)) == 0.5  # prodb-lint: exact
 
 
 def test_copy_is_deep(small_db):
     clone = small_db.copy()
     clone.add_fact("R", ("zzz",), 0.5)
-    assert small_db.probability_of_fact("R", ("zzz",)) == 0.0
+    assert small_db.probability_of_fact("R", ("zzz",)) == 0.0  # prodb-lint: exact

@@ -36,8 +36,8 @@ def test_brute_force_and_or():
 
 
 def test_brute_force_constants():
-    assert brute_force_wmc(B_TRUE, P) == 1.0
-    assert brute_force_wmc(B_FALSE, P) == 0.0
+    assert brute_force_wmc(B_TRUE, P) == 1.0  # prodb-lint: exact
+    assert brute_force_wmc(B_FALSE, P) == 0.0  # prodb-lint: exact
 
 
 def test_brute_force_exact_fractions():
@@ -68,7 +68,7 @@ def test_weighted_model_count_appendix():
 def test_weight_probability_duality():
     for p in (0.0, 0.25, 0.5, 0.9):
         assert close(probability_from_weight(weight_from_probability(p)), p)
-    assert probability_from_weight(float("inf")) == 1.0
+    assert probability_from_weight(float("inf")) == 1.0  # prodb-lint: exact
     assert weight_from_probability(1.0) == float("inf")
 
 
@@ -81,8 +81,8 @@ def test_dpll_matches_brute_force_simple():
 
 
 def test_dpll_constants():
-    assert dpll_probability(B_TRUE, P) == 1.0
-    assert dpll_probability(B_FALSE, P) == 0.0
+    assert dpll_probability(B_TRUE, P) == 1.0  # prodb-lint: exact
+    assert dpll_probability(B_FALSE, P) == 0.0  # prodb-lint: exact
 
 
 def test_dpll_random_formulas_match_brute_force():
@@ -204,4 +204,4 @@ def test_karp_luby_small_probability_relative_error():
 
 
 def test_karp_luby_empty():
-    assert karp_luby([], P).estimate == 0.0
+    assert karp_luby([], P).estimate == 0.0  # prodb-lint: exact

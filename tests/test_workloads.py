@@ -18,8 +18,8 @@ def test_figure1_shape():
 
 def test_figure1_custom_probabilities():
     db = figure1_database(p=(0.1, 0.2, 0.3), q=(0.4,) * 6)
-    assert db.probability_of_fact("R", ("a1",)) == 0.1
-    assert db.probability_of_fact("S", ("a4", "b6")) == 0.4
+    assert db.probability_of_fact("R", ("a1",)) == 0.1  # prodb-lint: exact
+    assert db.probability_of_fact("S", ("a4", "b6")) == 0.4  # prodb-lint: exact
 
 
 def test_figure1_rejects_wrong_lengths():

@@ -1,0 +1,48 @@
+"""prodb-lint: repo-specific static analysis for the prodb engine.
+
+The engine's correctness rests on invariants nothing in the type system
+enforces: every Boolean expression must be interned through the kernel's
+unique table, shared memos in ``repro.engine`` must be lock-guarded (or
+deliberately lock-free and documented as such), probability arithmetic must
+not compare floats for exact equality, and the approximate routes must be
+reproducible. ``prodb_lint`` machine-checks those conventions with five
+stdlib-``ast`` rules:
+
+========  ==================================================================
+PL001     no direct construction of ``BExpr`` node classes outside
+          ``src/repro/booleans/`` — use the ``bvar``/``band``/``bor``/
+          ``bnot`` factories (or ``BAnd.of``/``BOr.of``), which intern and
+          canonicalize
+PL002     module-level or instance mutable containers in
+          ``src/repro/engine/`` and ``src/repro/booleans/`` mutated outside
+          a ``with <lock>`` block and not ``threading.local``
+PL003     ``==`` / ``!=`` against float literals — use ``math.isclose`` or
+          annotate ``# prodb-lint: exact`` when exact semantics are intended
+PL004     unseeded ``random`` / ``numpy.random`` use in ``benchmarks/`` and
+          the sampling call sites of ``repro.wmc``
+PL005     modules documented in ``docs/api.md`` must define ``__all__``
+          covering every documented name
+========  ==================================================================
+
+Run as ``python -m prodb_lint src/ benchmarks/ tests/`` (with ``tools/`` on
+``PYTHONPATH``). Findings can be suppressed per line with
+``# prodb-lint: disable=PL001,PL003`` or the rule-specific aliases
+(``exact``, ``lockfree``, ``allow-construct``, ``seeded``), and per file
+with ``# prodb-lint: disable-file=PL004``. See ``docs/dev.md``.
+"""
+
+from __future__ import annotations
+
+from .engine import Finding, LintContext, lint_file, lint_paths
+from .rules import ALL_RULES
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALL_RULES",
+    "Finding",
+    "LintContext",
+    "lint_file",
+    "lint_paths",
+    "__version__",
+]

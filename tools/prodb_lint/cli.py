@@ -1,0 +1,58 @@
+"""Command line front end: ``python -m prodb_lint src/ benchmarks/ tests/``."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from .engine import lint_paths
+from .rules import ALL_RULES
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="prodb_lint",
+        description="Repo-specific static analysis for the prodb engine.",
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src", "benchmarks", "tests"],
+        help="files or directories to lint (default: src benchmarks tests)",
+    )
+    parser.add_argument(
+        "--select", metavar="CODES",
+        help="comma-separated rule codes to run (default: all)",
+    )
+    parser.add_argument(
+        "--root", metavar="DIR",
+        help="project root (default: nearest pyproject.toml above the first path)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule table and exit"
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        for rule in ALL_RULES:
+            doc = (rule.__doc__ or "").strip().splitlines()[0]
+            print(f"{rule.code}  {rule.name:32} {doc}")
+        return 0
+    select = (
+        {code.strip().upper() for code in args.select.split(",") if code.strip()}
+        if args.select
+        else None
+    )
+    findings = lint_paths(args.paths, root=args.root, select=select)
+    for finding in findings:
+        print(finding.render())
+    if findings:
+        print(f"{len(findings)} finding{'s' if len(findings) != 1 else ''}")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

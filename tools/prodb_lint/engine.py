@@ -1,0 +1,231 @@
+"""The lint driver: file discovery, contexts, rule dispatch.
+
+One :class:`LintContext` is built per file (parsed AST, parent links,
+pragmas, project-relative path); every rule in
+:data:`prodb_lint.rules.ALL_RULES` whose :meth:`~prodb_lint.rules.Rule.applies`
+accepts the path is run over it. Project-level facts needed by rules — the
+``docs/api.md`` export map for PL005 — are computed once per run and shared
+through :class:`Project`.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator, Optional
+
+from .pragmas import Pragmas, parse_pragmas
+
+#: Directories never descended into during discovery.
+_SKIP_DIRS = {"__pycache__", ".git", ".venv", "node_modules", ".mypy_cache", ".ruff_cache"}
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation."""
+
+    code: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+
+@dataclass
+class Project:
+    """Per-run shared state: the project root and lazy docs/api.md exports."""
+
+    root: Path
+    _api_exports: Optional[dict[str, set[str]]] = field(default=None, repr=False)
+
+    def api_exports(self) -> dict[str, set[str]]:
+        """``{dotted module: documented names}`` parsed from docs/api.md.
+
+        Only ``from X import a, b`` lines inside fenced code blocks count;
+        prose mentions are not machine-checked. Missing docs/api.md yields
+        an empty map (PL005 then has nothing to enforce).
+        """
+        if self._api_exports is None:
+            self._api_exports = _parse_api_docs(self.root / "docs" / "api.md")
+        return self._api_exports
+
+
+@dataclass
+class LintContext:
+    """Everything a rule needs to inspect one file."""
+
+    path: Path
+    relpath: str
+    source: str
+    tree: ast.Module
+    pragmas: Pragmas
+    project: Project
+    _parents: Optional[dict[ast.AST, ast.AST]] = field(default=None, repr=False)
+
+    def parents(self) -> dict[ast.AST, ast.AST]:
+        """Child → parent links, built on first use."""
+        if self._parents is None:
+            self._parents = {
+                child: node
+                for node in ast.walk(self.tree)
+                for child in ast.iter_child_nodes(node)
+            }
+        return self._parents
+
+    def ancestors(self, node: ast.AST) -> Iterator[ast.AST]:
+        parents = self.parents()
+        current = parents.get(node)
+        while current is not None:
+            yield current
+            current = parents.get(current)
+
+    def finding(self, code: str, node: ast.AST, message: str) -> Finding:
+        return Finding(
+            code=code,
+            path=self.relpath,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            message=message,
+        )
+
+
+def _parse_api_docs(api_md: Path) -> dict[str, set[str]]:
+    exports: dict[str, set[str]] = {}
+    try:
+        text = api_md.read_text(encoding="utf-8")
+    except OSError:
+        return exports
+    in_fence = False
+    buffer: list[str] = []
+    for raw in text.splitlines():
+        line = raw.strip()
+        if line.startswith("```"):
+            if in_fence:
+                _collect_doc_imports("\n".join(buffer), exports)
+                buffer = []
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            buffer.append(raw)
+    return exports
+
+
+def _collect_doc_imports(block: str, exports: dict[str, set[str]]) -> None:
+    try:
+        tree = ast.parse(block)
+    except SyntaxError:
+        # Code fences may hold shell snippets or elided (...) examples;
+        # fall back to line-by-line parsing so one bad line cannot hide
+        # the rest of the block.
+        for line in block.splitlines():
+            if line.lstrip().startswith("from "):
+                try:
+                    tree = ast.parse(line.strip().rstrip(",").rstrip("("))
+                except SyntaxError:
+                    continue
+                _collect_doc_imports_tree(tree, exports)
+        return
+    _collect_doc_imports_tree(tree, exports)
+
+
+def _collect_doc_imports_tree(tree: ast.AST, exports: dict[str, set[str]]) -> None:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+            if node.module == "repro" or node.module.startswith("repro."):
+                names = {alias.name for alias in node.names if alias.name != "*"}
+                exports.setdefault(node.module, set()).update(names)
+
+
+def find_project_root(start: Path) -> Path:
+    """Walk up from *start* looking for pyproject.toml (fallback: cwd)."""
+    probe = start.resolve()
+    if probe.is_file():
+        probe = probe.parent
+    for candidate in (probe, *probe.parents):
+        if (candidate / "pyproject.toml").is_file():
+            return candidate
+    return Path.cwd()
+
+
+def discover_files(paths: Iterable[str]) -> list[Path]:
+    """Expand files/directories into a sorted list of ``*.py`` files."""
+    out: set[Path] = set()
+    for item in paths:
+        path = Path(item)
+        if path.is_file() and path.suffix == ".py":
+            out.add(path.resolve())
+        elif path.is_dir():
+            for dirpath, dirnames, filenames in os.walk(path):
+                dirnames[:] = [
+                    d for d in dirnames if d not in _SKIP_DIRS and not d.startswith(".")
+                ]
+                for name in filenames:
+                    if name.endswith(".py"):
+                        out.add((Path(dirpath) / name).resolve())
+    return sorted(out)
+
+
+def lint_file(path: Path, project: Project, select: Optional[set[str]] = None) -> list[Finding]:
+    """Run every applicable rule over one file."""
+    from .rules import ALL_RULES
+
+    source = path.read_text(encoding="utf-8")
+    try:
+        relpath = path.resolve().relative_to(project.root).as_posix()
+    except ValueError:
+        relpath = path.as_posix()
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as error:
+        return [
+            Finding(
+                "PL000",
+                relpath,
+                error.lineno or 1,
+                error.offset or 0,
+                f"syntax error: {error.msg}",
+            )
+        ]
+    pragmas = parse_pragmas(source)
+    ctx = LintContext(
+        path=path, relpath=relpath, source=source, tree=tree,
+        pragmas=pragmas, project=project,
+    )
+    findings = [
+        Finding("PL000", relpath, line, 0, f"malformed prodb-lint pragma: {text!r}")
+        for line, text in pragmas.malformed
+    ]
+    for rule in ALL_RULES:
+        if select is not None and rule.code not in select:
+            continue
+        if not rule.applies(relpath):
+            continue
+        for code, node, message in rule.check(ctx):
+            first = getattr(node, "lineno", 1)
+            last = getattr(node, "end_lineno", None) or first
+            if not pragmas.is_disabled(code, first, last):
+                findings.append(ctx.finding(code, node, message))
+    return sorted(findings, key=lambda f: (f.path, f.line, f.col, f.code))
+
+
+def lint_paths(
+    paths: Iterable[str],
+    root: Optional[str] = None,
+    select: Optional[set[str]] = None,
+) -> list[Finding]:
+    """Lint files/directories; returns all findings sorted by location."""
+    files = discover_files(paths)
+    if not files:
+        return []
+    project = Project(
+        root=Path(root).resolve() if root is not None else find_project_root(files[0])
+    )
+    findings: list[Finding] = []
+    for path in files:
+        findings.extend(lint_file(path, project, select))
+    return findings

@@ -1,0 +1,112 @@
+"""Pragma parsing: ``# prodb-lint: ...`` comments.
+
+Two scopes:
+
+* **line** — ``# prodb-lint: disable=PL001,PL003`` suppresses the listed
+  rules on the physical line carrying the comment (for multi-line
+  statements, any line the offending node spans works). Rule-specific
+  aliases read better at the call site:
+
+  ==================  ======
+  ``exact``           PL003
+  ``lockfree``        PL002
+  ``allow-construct`` PL001
+  ``seeded``          PL004
+  ==================  ======
+
+* **file** — ``# prodb-lint: disable-file=PL004`` (anywhere in the file)
+  suppresses the listed rules for the whole file.
+
+Any directive may carry a justification after ``--``::
+
+    winner = table.setdefault(key, node)  # prodb-lint: lockfree -- GIL-atomic
+
+Unknown directives are reported as ``PL000`` findings rather than silently
+ignored, so a typo like ``# prodb-lint: exact`` cannot mask a violation.
+"""
+
+from __future__ import annotations
+
+import io
+import tokenize
+from dataclasses import dataclass, field
+
+#: Aliases accepted in place of explicit ``disable=`` lists.
+ALIASES: dict[str, str] = {
+    "exact": "PL003",
+    "lockfree": "PL002",
+    "allow-construct": "PL001",
+    "seeded": "PL004",
+}
+
+_PREFIX = "prodb-lint:"
+
+
+@dataclass
+class Pragmas:
+    """Suppression state for one file."""
+
+    line_disables: dict[int, set[str]] = field(default_factory=dict)
+    file_disables: set[str] = field(default_factory=set)
+    #: ``(line, text)`` of directives that could not be parsed.
+    malformed: list[tuple[int, str]] = field(default_factory=list)
+
+    def is_disabled(self, code: str, first_line: int, last_line: int | None = None) -> bool:
+        """Whether *code* is suppressed anywhere on the node's line span."""
+        if code in self.file_disables:
+            return True
+        last = first_line if last_line is None else last_line
+        for line in range(first_line, last + 1):
+            if code in self.line_disables.get(line, ()):
+                return True
+        return False
+
+    def _add(self, scope: dict[int, set[str]] | set[str], line: int, codes: set[str]) -> None:
+        if isinstance(scope, set):
+            scope.update(codes)
+        else:
+            scope.setdefault(line, set()).update(codes)
+
+
+def _parse_codes(spec: str) -> set[str] | None:
+    codes = {part.strip().upper() for part in spec.split(",") if part.strip()}
+    if not codes or not all(c.startswith("PL") and c[2:].isdigit() for c in codes):
+        return None
+    return codes
+
+
+def parse_pragmas(source: str) -> Pragmas:
+    """Extract all ``# prodb-lint:`` directives from *source*."""
+    pragmas = Pragmas()
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        comments = [
+            (token.start[0], token.string)
+            for token in tokens
+            if token.type == tokenize.COMMENT
+        ]
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return pragmas
+    for line, comment in comments:
+        text = comment.lstrip("#").strip()
+        if not text.startswith(_PREFIX):
+            continue
+        directive = text[len(_PREFIX):].split("--", 1)[0].strip()
+        lowered = directive.lower()
+        if lowered in ALIASES:
+            pragmas._add(pragmas.line_disables, line, {ALIASES[lowered]})
+        elif lowered.startswith("disable-file="):
+            codes = _parse_codes(directive.split("=", 1)[1])
+            if codes is None:
+                pragmas.malformed.append((line, directive))
+            else:
+                pragmas._add(pragmas.file_disables, line, codes)
+        elif lowered.startswith("disable="):
+            codes = _parse_codes(directive.split("=", 1)[1])
+            if codes is None:
+                pragmas.malformed.append((line, directive))
+            else:
+                pragmas._add(pragmas.line_disables, line, codes)
+        else:
+            pragmas.malformed.append((line, directive))
+    return pragmas

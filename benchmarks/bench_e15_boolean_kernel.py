@@ -49,6 +49,10 @@ from tables import print_table
 
 H0_CQ = parse_cq("R(x), S(x,y), T(y)")
 
+#: Machine-readable results of the last ``main()`` run, merged into
+#: ``BENCH_results.json`` by ``run_all_tables.py``.
+BENCH_RESULTS: dict = {}
+
 
 # -- the legacy (pre-kernel) path, replicated faithfully ----------------------
 #
@@ -355,6 +359,7 @@ def main() -> None:
         rows,
     )
     assert ratio >= 3.0, f"interned kernel only {ratio:.1f}x faster than legacy path"
+    BENCH_RESULTS["e15_dpll_kernel_speedup"] = round(ratio, 2)
 
     rows, _ = obdd_recompile(domain_size=n, repeats=repeats)
     print_table(

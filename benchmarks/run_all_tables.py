@@ -1,14 +1,21 @@
 #!/usr/bin/env python3
-"""Regenerate every experiment table (E1–E15) in one run.
+"""Regenerate every experiment table (E1–E16) in one run.
 
 The per-experiment benchmark modules each expose a ``main()`` that prints
 the paper-shaped series; this driver runs them all in order. EXPERIMENTS.md
 records a snapshot of this output.
 
+Besides the printed tables, the run writes ``BENCH_results.json`` next to
+this script: one record per benchmark with its name, wall-clock seconds,
+and whatever machine-readable metrics the module published through its
+``BENCH_RESULTS`` dict (e.g. E16's row-vs-columnar speedup ratio) — the
+hook for tracking performance across commits.
+
 Run:  python benchmarks/run_all_tables.py
 """
 
 import importlib
+import json
 import sys
 import time
 from pathlib import Path
@@ -31,18 +38,38 @@ MODULES = [
     "bench_e13_approximation",
     "bench_e14_engine_cache",
     "bench_e15_boolean_kernel",
+    "bench_e16_columnar_plans",
 ]
+
+RESULTS_PATH = Path(__file__).parent / "BENCH_results.json"
 
 
 def main() -> None:
     total_start = time.perf_counter()
+    records = []
     for name in MODULES:
         module = importlib.import_module(name)
         start = time.perf_counter()
         module.main()
-        print(f"\n[{name} done in {time.perf_counter() - start:.1f}s]")
+        seconds = time.perf_counter() - start
+        print(f"\n[{name} done in {seconds:.1f}s]")
         print("=" * 72)
-    print(f"\nall tables regenerated in {time.perf_counter() - total_start:.1f}s")
+        records.append(
+            {
+                "bench": name,
+                "seconds": round(seconds, 3),
+                "metrics": dict(getattr(module, "BENCH_RESULTS", {})),
+            }
+        )
+    total = time.perf_counter() - total_start
+    RESULTS_PATH.write_text(
+        json.dumps(
+            {"total_seconds": round(total, 3), "benchmarks": records}, indent=2
+        )
+        + "\n"
+    )
+    print(f"\nall tables regenerated in {total:.1f}s")
+    print(f"machine-readable results: {RESULTS_PATH}")
 
 
 if __name__ == "__main__":

@@ -64,6 +64,13 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="RNG seed for the approximate routes (reproducible estimates)",
     )
+    query.add_argument(
+        "--backend",
+        default="auto",
+        choices=["auto", "rows", "columnar"],
+        help="extensional (safe-plan) executor: tuple-at-a-time rows, "
+        "numpy columnar, or auto (columnar above a row-count threshold)",
+    )
 
     batch = sub.add_parser(
         "batch",
@@ -112,6 +119,12 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="RNG seed for the approximate routes (reproducible estimates)",
     )
+    batch.add_argument(
+        "--backend",
+        default="auto",
+        choices=["auto", "rows", "columnar"],
+        help="extensional (safe-plan) executor (answers cached per-backend)",
+    )
 
     safety = sub.add_parser("safety", help="decide PTIME vs #P-hard from syntax")
     safety.add_argument("-q", "--query", required=True, help="CQ or UCQ shorthand")
@@ -121,7 +134,9 @@ def _build_parser() -> argparse.ArgumentParser:
 
 
 def _cmd_query(args: argparse.Namespace) -> int:
-    pdb = ProbabilisticDatabase(tid=load_tid(args.files), seed=args.seed)
+    pdb = ProbabilisticDatabase(
+        tid=load_tid(args.files), seed=args.seed, backend=args.backend
+    )
     if args.explain:
         print(pdb.explain(args.query))
         return 0
@@ -133,6 +148,10 @@ def _cmd_query(args: argparse.Namespace) -> int:
         print(f"detail      : {answer.detail}")
     if args.stats and answer.stats is not None:
         print(f"stage times : {answer.stats.summary()}")
+        if answer.stats.backend:
+            print(f"backend     : {answer.stats.backend}")
+        for line in answer.stats.operator_summary():
+            print(f"  {line}")
         if answer.stats.counters:
             print(f"kernel      : {answer.stats.counter_summary()}")
     return 0
@@ -146,7 +165,10 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         print("--cache-size must be at least 1", file=sys.stderr)
         return 2
     session = EngineSession(
-        load_tid(args.files), cache_size=args.cache_size, seed=args.seed
+        load_tid(args.files),
+        cache_size=args.cache_size,
+        seed=args.seed,
+        backend=args.backend,
     )
     queries = list(args.queries) * args.repeat
     answers = session.query_batch(

@@ -91,15 +91,30 @@ class QueryAnswer:
         return self.probability
 
 
+#: Valid values for :attr:`ProbabilisticDatabase.backend`.
+BACKENDS = ("auto", "rows", "columnar")
+
+
 @dataclass
 class ProbabilisticDatabase:
-    """A TID plus every inference engine of the library."""
+    """A TID plus every inference engine of the library.
+
+    *backend* selects the extensional (safe-plan) execution engine:
+    ``"rows"`` is the tuple-at-a-time reference implementation,
+    ``"columnar"`` the numpy-vectorized one
+    (:mod:`repro.plans.vectorized`), and ``"auto"`` (default) picks
+    columnar once the database holds at least
+    :data:`~repro.plans.vectorized.COLUMNAR_AUTO_THRESHOLD` facts and numpy
+    is importable. Both backends return the same probabilities to within
+    1e-9 (differentially tested); the choice is purely about speed.
+    """
 
     tid: TupleIndependentDatabase = field(default_factory=TupleIndependentDatabase)
     exact_lineage_limit: int = 40
     mc_epsilon: float = 0.02
     mc_delta: float = 0.05
     seed: Optional[int] = None
+    backend: str = "auto"
 
     # -- data definition -----------------------------------------------------
 
@@ -252,19 +267,53 @@ class ProbabilisticDatabase:
             lifted_trace=trace,
         )
 
+    def plan_backend(self) -> str:
+        """The extensional backend the safe-plan route will actually use."""
+        if self.backend not in BACKENDS:
+            raise ValueError(
+                f"unknown backend {self.backend!r}; expected one of {BACKENDS}"
+            )
+        from ..plans import vectorized
+
+        if self.backend == "columnar":
+            if not vectorized.available():
+                raise RuntimeError(
+                    "backend='columnar' requires numpy, which is not importable"
+                )
+            return "columnar"
+        if self.backend == "rows":
+            return "rows"
+        if (
+            vectorized.available()
+            and self.tid.fact_count() >= vectorized.COLUMNAR_AUTO_THRESHOLD
+        ):
+            return "columnar"
+        return "rows"
+
     def _safe_plan(self, parsed, *, stats: Optional[QueryStats] = None) -> QueryAnswer:
         stats = stats if stats is not None else QueryStats()
         if not isinstance(parsed, ConjunctiveQuery):
             raise UnsafePlanError("safe plans apply to conjunctive queries")
         with stats.stage("compile"):
-            plan = safe_plan(parsed)
+            plan = safe_plan(parsed, self.tid)
+        backend = self.plan_backend()
+        stats.backend = backend
         with stats.stage("count"):
-            probability = execute_boolean(project_boolean(plan), self.tid)
+            if backend == "columnar":
+                from ..plans.vectorized import execute_boolean_columnar
+
+                probability = execute_boolean_columnar(
+                    project_boolean(plan), self.tid, profile=stats.operators
+                )
+            else:
+                probability = execute_boolean(
+                    project_boolean(plan), self.tid, profile=stats.operators
+                )
         return QueryAnswer(
             probability,
             Method.SAFE_PLAN,
             exact=True,
-            detail=f"safe plan: {project_boolean(plan)}",
+            detail=f"safe plan ({backend} backend): {project_boolean(plan)}",
         )
 
     def _lineage(self, parsed) -> Lineage:
@@ -489,6 +538,10 @@ def explain_answer(query: Query, answer: QueryAnswer) -> str:
     if answer.stats is not None:
         lines.append(f"cache hit    : {answer.stats.cache_hit}")
         lines.append(f"stage times  : {answer.stats.summary()}")
+        if answer.stats.backend:
+            lines.append(f"backend      : {answer.stats.backend}")
+        for operator_line in answer.stats.operator_summary():
+            lines.append(f"  {operator_line}")
         if answer.stats.counters:
             lines.append(f"kernel       : {answer.stats.counter_summary()}")
     for step in answer.lifted_trace:

@@ -50,12 +50,26 @@ class TupleIndependentDatabase:
         return relation
 
     def add_fact(self, name: str, values: Iterable, probability: float = 1.0) -> None:
-        """Insert a tuple, creating the relation on first use."""
+        """Insert a tuple, creating the relation on first use.
+
+        Inserting an already-present tuple follows the engine-wide
+        duplicate-row policy of :meth:`repro.relational.relation.Relation.add`:
+        the probabilities ⊕-combine. Use :meth:`set_fact` to overwrite.
+        """
         values = tuple(values)
         if name not in self.relations:
             attributes = tuple(f"a{i}" for i in range(len(values)))
             self.add_relation(name, attributes)
         self.relations[name].add(values, probability)
+        self.touch()
+
+    def set_fact(self, name: str, values: Iterable, probability: float) -> None:
+        """Set a tuple's marginal outright, replacing any stored value."""
+        values = tuple(values)
+        if name not in self.relations:
+            attributes = tuple(f"a{i}" for i in range(len(values)))
+            self.add_relation(name, attributes)
+        self.relations[name].replace(values, probability)
         self.touch()
 
     @staticmethod

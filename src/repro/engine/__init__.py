@@ -25,13 +25,14 @@ module imports ``core.pdb`` back.
 from __future__ import annotations
 
 from .cache import CacheStats, LRUCache, query_fingerprint, tid_fingerprint
-from .stats import QueryStats, SessionStats
+from .stats import OperatorProfile, QueryStats, SessionStats
 
 __all__ = [
     "CacheStats",
     "LRUCache",
     "query_fingerprint",
     "tid_fingerprint",
+    "OperatorProfile",
     "QueryStats",
     "SessionStats",
     "EngineSession",

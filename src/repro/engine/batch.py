@@ -108,6 +108,7 @@ def _run_process_batch(
         "mc_epsilon": pdb.mc_epsilon,
         "mc_delta": pdb.mc_delta,
         "seed": pdb.seed,
+        "backend": pdb.backend,
     }
     workers = default_workers(
         max_workers if max_workers is not None else os.cpu_count(), len(queries)
@@ -122,7 +123,7 @@ def _run_process_batch(
     # Merge results into the parent's cache so follow-up traffic hits warm.
     tid_fp = pdb.tid.fingerprint()
     for query, answer in zip(queries, answers):
-        key = ("answer", tid_fp, query_fingerprint(query), method.value)
+        key = ("answer", tid_fp, query_fingerprint(query), method.value, pdb.backend)
         if key not in session.cache:
             session.cache.put(key, answer)
         session.stats.record(answer.stats)

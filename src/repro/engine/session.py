@@ -13,9 +13,14 @@ entry kind              key
 parsed query            ``("parse", query_fp)``
 grounded lineage        ``("lineage", tid_fp, query_fp)``
 compiled circuit        ``("circuit", tid_fp, lineage_fp)``
-Boolean answer          ``("answer", tid_fp, query_fp, method)``
+Boolean answer          ``("answer", tid_fp, query_fp, method, backend)``
 per-answer marginals    ``("answers", tid_fp, query_fp·head)``
 ======================  =====================================================
+
+Answers are cached **per-backend**: the configured extensional backend
+(``ProbabilisticDatabase.backend``) is part of the answer key, so a
+session that switches between the row and columnar executors keeps their
+entries separate.
 
 ``tid_fp`` is the database's content hash
 (:meth:`~repro.core.tid.TupleIndependentDatabase.fingerprint`): mutating
@@ -74,6 +79,12 @@ class EngineSession:
     seed:
         When given, overrides the wrapped database's RNG seed so the
         approximate routes are reproducible.
+    backend:
+        When given, overrides the wrapped database's extensional backend
+        (``"rows"`` / ``"columnar"`` / ``"auto"``). Answers are cached
+        per-backend — the configured backend is part of the answer key —
+        so switching backends mid-session never serves a stale entry from
+        the other executor.
     """
 
     def __init__(
@@ -83,6 +94,7 @@ class EngineSession:
         cache_size: int = 256,
         max_workers: Optional[int] = None,
         seed: Optional[int] = None,
+        backend: Optional[str] = None,
     ):
         if db is None:
             self.pdb = ProbabilisticDatabase()
@@ -97,6 +109,8 @@ class EngineSession:
             )
         if seed is not None:
             self.pdb.seed = seed
+        if backend is not None:
+            self.pdb.backend = backend
         self.max_workers = max_workers
         self.cache = LRUCache(cache_size)
         self.stats = SessionStats()
@@ -124,7 +138,7 @@ class EngineSession:
         with stats.stage("lookup"):
             tid_fp = self.tid.fingerprint()
             qfp = query_fingerprint(query)
-            key = ("answer", tid_fp, qfp, method.value)
+            key = ("answer", tid_fp, qfp, method.value, self.pdb.backend)
             cached = self.cache.get(key)
         if cached is not None:
             return self._serve_hit(cached, stats)

@@ -28,7 +28,7 @@ from __future__ import annotations
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, Optional
+from typing import Dict, Iterator, List, Optional
 
 from ..sanitize import RANK_STATS, RankedLock
 
@@ -40,6 +40,27 @@ def _format_seconds(seconds: float) -> str:
     if seconds >= 1.0:
         return f"{seconds:.3f}s"
     return f"{seconds * 1e3:.3f}ms"
+
+
+@dataclass
+class OperatorProfile:
+    """One plan operator's traffic: rows in, rows out, wall time.
+
+    Filled by both extensional executors (row and columnar) when the
+    safe-plan route runs, one record per scan/join/project in execution
+    order, and surfaced through ``QueryAnswer.stats`` and ``explain()``.
+    """
+
+    operator: str
+    rows_in: int
+    rows_out: int
+    seconds: float
+
+    def __str__(self) -> str:
+        return (
+            f"{self.operator}: {self.rows_in} → {self.rows_out} rows "
+            f"in {_format_seconds(self.seconds)}"
+        )
 
 
 @dataclass
@@ -55,6 +76,11 @@ class QueryStats:
     stages: Dict[str, float] = field(default_factory=dict)
     cache_hit: bool = False
     counters: Dict[str, int] = field(default_factory=dict)
+    #: Extensional backend that executed the plan ("rows" / "columnar");
+    #: empty for non-plan routes.
+    backend: str = ""
+    #: Per-operator rows-in/rows-out traffic of the executed plan.
+    operators: List[OperatorProfile] = field(default_factory=list)
 
     @contextmanager
     def stage(self, name: str) -> Iterator[None]:
@@ -97,6 +123,10 @@ class QueryStats:
             f"{name}={value}" for name, value in sorted(self.counters.items())
         )
 
+    def operator_summary(self) -> list[str]:
+        """One line per plan operator: ``scan R(x): 100 → 70 rows in 0.1ms``."""
+        return [str(profile) for profile in self.operators]
+
     def report(self) -> str:
         """Multi-line report in the style of ``ProbabilisticDatabase.explain``."""
         lines = [
@@ -104,6 +134,10 @@ class QueryStats:
             f"cache hit    : {self.cache_hit}",
             f"stage times  : {self.summary()}",
         ]
+        if self.backend:
+            lines.append(f"backend      : {self.backend}")
+        for line in self.operator_summary():
+            lines.append(f"  {line}")
         if self.counters:
             lines.append(f"kernel       : {self.counter_summary()}")
         return "\n".join(lines)

@@ -11,7 +11,12 @@ from .plan import (
     plan_variables,
     project_boolean,
 )
-from .safe_plan import UnsafePlanError, safe_plan, try_safe_plan
+from .safe_plan import CostModel, UnsafePlanError, safe_plan, try_safe_plan
+from .vectorized import (
+    COLUMNAR_AUTO_THRESHOLD,
+    execute_boolean_columnar,
+    execute_columnar,
+)
 from .dissociation import Dissociation, all_dissociations, minimal_dissociations
 from .bounds import (
     BoundsResult,
@@ -31,9 +36,13 @@ __all__ = [
     "plan_atoms",
     "plan_variables",
     "project_boolean",
+    "CostModel",
     "UnsafePlanError",
     "safe_plan",
     "try_safe_plan",
+    "COLUMNAR_AUTO_THRESHOLD",
+    "execute_boolean_columnar",
+    "execute_columnar",
     "Dissociation",
     "all_dissociations",
     "minimal_dissociations",

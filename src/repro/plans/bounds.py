@@ -74,7 +74,7 @@ def oblivious_database(
             continue
         name, values = fact
         p = db.probability_of_fact(name, values)
-        result.relations[name].add(values, 1.0 - (1.0 - p) ** (1.0 / k))
+        result.relations[name].replace(values, 1.0 - (1.0 - p) ** (1.0 / k))
     return result
 
 

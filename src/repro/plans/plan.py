@@ -14,10 +14,12 @@ it is an upper bound (Theorem 6.1).
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
-from typing import Union
+from typing import Optional, Union
 
 from ..core.tid import TupleIndependentDatabase
+from ..engine.stats import OperatorProfile
 from ..logic.formulas import Atom
 from ..logic.terms import Const, Var
 from ..relational.algebra import independent_project, join
@@ -83,23 +85,64 @@ def plan_atoms(plan: PlanNode) -> tuple[Atom, ...]:
     return plan_atoms(plan.child)
 
 
-def execute(plan: PlanNode, db: TupleIndependentDatabase) -> Relation:
-    """Evaluate a plan, producing a relation keyed by variable names."""
+def execute(
+    plan: PlanNode,
+    db: TupleIndependentDatabase,
+    profile: Optional[list[OperatorProfile]] = None,
+) -> Relation:
+    """Evaluate a plan, producing a relation keyed by variable names.
+
+    *profile*, when given, collects one
+    :class:`~repro.engine.stats.OperatorProfile` per operator in execution
+    order — the same instrumentation the columnar backend emits, so
+    ``explain()`` output is uniform across backends.
+    """
     if isinstance(plan, ScanNode):
-        return _scan(plan.atom, db)
+        start = time.perf_counter()
+        out = _scan(plan.atom, db)
+        if profile is not None:
+            relation = db.relations.get(plan.atom.predicate)
+            rows_in = len(relation) if relation is not None else 0
+            profile.append(
+                OperatorProfile(
+                    f"scan {plan.atom}", rows_in, len(out), time.perf_counter() - start
+                )
+            )
+        return out
     if isinstance(plan, JoinNode):
-        left = execute(plan.left, db)
-        right = execute(plan.right, db)
-        return join(left, right)
+        left = execute(plan.left, db, profile)
+        right = execute(plan.right, db, profile)
+        start = time.perf_counter()
+        out = join(left, right)
+        if profile is not None:
+            profile.append(
+                OperatorProfile(
+                    "join ⋈", len(left) + len(right), len(out), time.perf_counter() - start
+                )
+            )
+        return out
     if isinstance(plan, ProjectNode):
-        child = execute(plan.child, db)
-        return independent_project(child, [v.name for v in plan.variables])
+        child = execute(plan.child, db, profile)
+        start = time.perf_counter()
+        out = independent_project(child, [v.name for v in plan.variables])
+        if profile is not None:
+            names = ", ".join(v.name for v in plan.variables)
+            profile.append(
+                OperatorProfile(
+                    f"project γ[{names}]", len(child), len(out), time.perf_counter() - start
+                )
+            )
+        return out
     raise TypeError(f"unknown plan node {plan!r}")
 
 
-def execute_boolean(plan: PlanNode, db: TupleIndependentDatabase) -> float:
+def execute_boolean(
+    plan: PlanNode,
+    db: TupleIndependentDatabase,
+    profile: Optional[list[OperatorProfile]] = None,
+) -> float:
     """Evaluate a Boolean plan: the plan must project down to zero columns."""
-    result = execute(plan, db)
+    result = execute(plan, db, profile)
     if result.attributes:
         raise ValueError(
             f"plan output still has columns {result.attributes}; "
@@ -111,7 +154,13 @@ def execute_boolean(plan: PlanNode, db: TupleIndependentDatabase) -> float:
 
 
 def _scan(atom: Atom, db: TupleIndependentDatabase) -> Relation:
-    """Scan + rename + select for one atom."""
+    """Scan + rename + select for one atom.
+
+    An atom whose arity disagrees with the stored relation is a schema
+    error and raises :class:`ValueError` naming the predicate — silently
+    skipping mismatched rows would turn a malformed query into an empty
+    (hence wrong) result.
+    """
     relation = db.relations.get(atom.predicate)
     variables: list[Var] = []
     positions: list[int] = []
@@ -124,9 +173,17 @@ def _scan(atom: Atom, db: TupleIndependentDatabase) -> Relation:
     out = Relation(atom.predicate, tuple(v.name for v in variables))
     if relation is None:
         return out
+    if relation.arity != atom.arity:
+        raise ValueError(
+            f"scan of {atom.predicate}: relation arity {relation.arity} does "
+            f"not match atom {atom} (arity {atom.arity})"
+        )
     for values, prob in relation.items():
         if len(values) != atom.arity:
-            continue
+            raise ValueError(
+                f"scan of {atom.predicate}: row {values!r} has arity "
+                f"{len(values)}, expected {atom.arity}"
+            )
         ok = True
         for i, term in enumerate(atom.args):
             if isinstance(term, Const):

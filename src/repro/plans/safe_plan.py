@@ -17,44 +17,92 @@ every hierarchical self-join-free CQ, and fails precisely on the unsafe
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from ..logic.cq import ConjunctiveQuery
 from ..logic.formulas import Atom
 from ..logic.terms import Var
 from .plan import JoinNode, PlanNode, ProjectNode, ScanNode
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations
+    from ..core.tid import TupleIndependentDatabase
+
 
 class UnsafePlanError(ValueError):
     """No safe plan exists (the query is not hierarchical)."""
 
 
-def safe_plan(query: ConjunctiveQuery) -> PlanNode:
+class CostModel:
+    """Cardinality estimates for join ordering, from one database snapshot.
+
+    Uses the textbook uniform-distribution model: a group of atoms joins to
+    roughly the product of its relation cardinalities, divided by the
+    domain size once per *repeated* variable occurrence (each repeat is an
+    equality predicate with selectivity ≈ 1/|domain|). Crude, but it only
+    has to rank var-disjoint groups — smallest estimated intermediate
+    first — so that the left-deep join fold keeps intermediates small.
+    """
+
+    def __init__(self, db: "TupleIndependentDatabase"):
+        self.sizes = {name: len(rel) for name, rel in db.relations.items()}
+        self.domain_size = max(1, len(db.domain()))
+
+    def atom_cardinality(self, atom: Atom) -> int:
+        return self.sizes.get(atom.predicate, 0)
+
+    def group_cardinality(self, atoms: tuple[Atom, ...]) -> float:
+        estimate = 1.0
+        seen: set[Var] = set()
+        repeats = 0
+        for atom in atoms:
+            estimate *= max(1, self.atom_cardinality(atom))
+            for var in atom.free_variables():
+                if var in seen:
+                    repeats += 1
+                else:
+                    seen.add(var)
+        return estimate / (self.domain_size ** repeats)
+
+
+def safe_plan(
+    query: ConjunctiveQuery, db: Optional["TupleIndependentDatabase"] = None
+) -> PlanNode:
     """A safe plan for a Boolean self-join-free CQ.
 
     Raises :class:`UnsafePlanError` when the query is not hierarchical
-    (Theorem 4.3's hard side).
+    (Theorem 4.3's hard side). With *db* given, independent subplans are
+    join-ordered by estimated cardinality (smallest intermediate first, see
+    :class:`CostModel`) — safety never depends on the order, only the size
+    of the intermediates does.
     """
     if query.has_self_joins():
         raise UnsafePlanError("safe plans require a self-join-free query")
-    return _build(query.atoms, frozenset())
+    model = CostModel(db) if db is not None else None
+    return _build(query.atoms, frozenset(), model)
 
 
-def try_safe_plan(query: ConjunctiveQuery) -> Optional[PlanNode]:
+def try_safe_plan(
+    query: ConjunctiveQuery, db: Optional["TupleIndependentDatabase"] = None
+) -> Optional[PlanNode]:
     """:func:`safe_plan`, returning None instead of raising."""
     try:
-        return safe_plan(query)
+        return safe_plan(query, db)
     except UnsafePlanError:
         return None
 
 
-def _build(atoms: tuple[Atom, ...], keep: frozenset[Var]) -> PlanNode:
+def _build(
+    atoms: tuple[Atom, ...],
+    keep: frozenset[Var],
+    model: Optional[CostModel] = None,
+) -> PlanNode:
     """A plan with output schema exactly *keep* computing P(∃rest ⋀atoms)."""
     groups = _groups_modulo(atoms, keep)
     if len(groups) > 1:
-        plan: PlanNode = _build(groups[0], keep & _vars(groups[0]))
+        groups = _order_groups(groups, model)
+        plan: PlanNode = _build(groups[0], keep & _vars(groups[0]), model)
         for group in groups[1:]:
-            plan = JoinNode(plan, _build(group, keep & _vars(group)))
+            plan = JoinNode(plan, _build(group, keep & _vars(group), model))
         return _project_to(plan, keep)
 
     group = groups[0]
@@ -73,8 +121,23 @@ def _build(atoms: tuple[Atom, ...], keep: frozenset[Var]) -> PlanNode:
             "variable — the query is not hierarchical"
         )
     root = residual_roots[0]
-    inner = _build(group, keep | {root})
+    inner = _build(group, keep | {root}, model)
     return ProjectNode(inner, _ordered(keep, keep))
+
+
+def _order_groups(
+    groups: list[tuple[Atom, ...]], model: Optional[CostModel]
+) -> list[tuple[Atom, ...]]:
+    """Smallest-estimated-intermediate first; stable without a cost model."""
+    if model is None:
+        return groups
+    return sorted(
+        groups,
+        key=lambda group: (
+            model.group_cardinality(group),
+            tuple(str(atom) for atom in group),
+        ),
+    )
 
 
 def _vars(atoms: tuple[Atom, ...]) -> frozenset[Var]:

@@ -1,5 +1,13 @@
-"""Relational substrate: in-memory relations and (probabilistic) algebra."""
+"""Relational substrate: in-memory relations and (probabilistic) algebra.
 
+Two execution representations share one semantics: the row backend
+(:mod:`~repro.relational.relation` / :mod:`~repro.relational.algebra`,
+dict-of-tuples, tuple-at-a-time operators) and the columnar backend
+(:mod:`~repro.relational.columnar`, dictionary-encoded numpy columns with
+vectorized operators and log-space ⊕-aggregation).
+"""
+
+from .columnar import NUMPY_AVAILABLE, ColumnarRelation, ValueInterner, from_relation
 from .relation import Relation, relation_from_rows
 from .algebra import (
     boolean_oplus,
@@ -17,6 +25,10 @@ from .algebra import (
 )
 
 __all__ = [
+    "NUMPY_AVAILABLE",
+    "ColumnarRelation",
+    "ValueInterner",
+    "from_relation",
     "Relation",
     "relation_from_rows",
     "boolean_oplus",

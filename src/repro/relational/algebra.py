@@ -98,12 +98,21 @@ def join(left: Relation, right: Relation, name: str = "join") -> Relation:
 
 
 def union(left: Relation, right: Relation, name: str = "union") -> Relation:
-    """Probabilistic union: same-schema rows combined with ⊕."""
+    """Probabilistic union: same-schema rows combined with ⊕.
+
+    Built entirely through :meth:`Relation.add`, whose documented
+    duplicate-row policy *is* the ⊕-combine — so union inherits the row
+    validation (arity, probability range) instead of poking ``rows``
+    directly, and both backends share one definition of what a duplicate
+    row means.
+    """
     if left.attributes != right.attributes:
         raise ValueError("union requires identical schemas")
-    out = Relation(name, left.attributes, dict(left.rows))
+    out = Relation(name, left.attributes)
+    for values, prob in left.items():
+        out.add(values, prob)
     for values, prob in right.items():
-        out.rows[values] = oplus(out.rows.get(values, 0.0), prob)
+        out.add(values, prob)
     return out
 
 

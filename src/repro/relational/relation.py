@@ -41,7 +41,24 @@ class Relation:
             raise ValueError(f"{self.name}: probability {prob} out of [0, 1]")
 
     def add(self, values: Iterable, prob: float = 1.0) -> None:
-        """Insert (or overwrite) a row with the given marginal probability."""
+        """Insert a row; a duplicate row ⊕-combines with the existing one.
+
+        This is the single duplicate-row policy of the engine, shared by
+        the row and columnar backends: adding the same value tuple twice
+        yields ``u ⊕ v = 1 - (1-u)(1-v)``, treating the two insertions as
+        independent evidence for the tuple (the Sec. 6 aggregate). To
+        overwrite a row's probability instead, use :meth:`replace`.
+        """
+        values = tuple(values)
+        self._check_row(values, prob)
+        existing = self.rows.get(values)
+        if existing is None:
+            self.rows[values] = float(prob)
+        else:
+            self.rows[values] = 1.0 - (1.0 - existing) * (1.0 - float(prob))
+
+    def replace(self, values: Iterable, prob: float) -> None:
+        """Set a row's probability outright (insert when absent)."""
         values = tuple(values)
         self._check_row(values, prob)
         self.rows[values] = float(prob)

@@ -152,7 +152,8 @@ def test_cache_hit_does_not_mutate_cached_entry(session):
     warm2 = session.query(query)
     assert warm1.stats is not warm2.stats  # fresh stats per serve
     cached = session.cache.get(("answer", session.tid.fingerprint(),
-                                query_fingerprint(query), Method.AUTO.value))
+                                query_fingerprint(query), Method.AUTO.value,
+                                session.pdb.backend))
     assert not cached.stats.cache_hit  # stored entry keeps its cold record
 
 

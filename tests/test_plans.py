@@ -227,3 +227,9 @@ def test_oblivious_database_lowers_shared_tuples(db):
         if p2 < p - 1e-12:
             lowered += 1
     assert lowered > 0
+
+
+def test_scan_arity_mismatch_raises(small_db):
+    atom = parse_cq("S(x,y,z)").atoms[0]
+    with pytest.raises(ValueError, match="relation arity 2 does not match"):
+        execute(ScanNode(atom), small_db)

@@ -147,3 +147,48 @@ def test_boolean_oplus(s):
     zero_col = independent_project(s, [])
     assert boolean_oplus(s) == pytest.approx(expected)
     assert zero_col.probability(()) == pytest.approx(expected)
+
+
+# -- duplicate-row policy (⊕-combine on add, replace to overwrite) ------------
+
+
+def test_add_duplicate_oplus_combines(r):
+    r.add(("a",), 0.5)
+    assert r.probability(("a",)) == pytest.approx(0.75)  # 0.5 ⊕ 0.5
+
+
+def test_replace_overwrites(r):
+    r.replace(("a",), 0.1)
+    assert r.probability(("a",)) == pytest.approx(0.1)
+
+
+def test_union_goes_through_add_policy(r):
+    # union(r, r) must give the same result as re-adding every row of r
+    out = union(r, r)
+    rebuilt = relation_from_rows("R", ("x",), dict(r.rows))
+    for values, prob in r.items():
+        rebuilt.add(values, prob)
+    assert out.rows.keys() == rebuilt.rows.keys()
+    for values in out.rows:
+        assert out.rows[values] == pytest.approx(rebuilt.rows[values])
+
+
+# -- empty relations through every operator -----------------------------------
+
+
+def test_empty_relation_through_every_operator(r):
+    e = Relation("E", ("x",))
+    e2 = Relation("E2", ("x", "y"))
+    assert len(select(e, lambda row: True)) == 0
+    assert len(select_eq(e, "x", "a")) == 0
+    assert len(project(e, ("x",))) == 0
+    assert len(independent_project(e, ())) == 0
+    assert len(join(e, r)) == 0
+    assert len(join(r, e)) == 0
+    assert len(join(e, e2)) == 0
+    assert len(union(e, Relation("E3", ("x",)))) == 0
+    assert len(difference(e, r)) == 0
+    assert set(difference(r, e).rows) == set(r.rows)
+    assert len(cartesian_product(e, Relation("Z", ("z",)))) == 0
+    assert boolean_oplus(e) == 0.0  # prodb-lint: exact -- empty ⊕ is exactly 0
+    assert len(rename_attributes(e, ("u",))) == 0

@@ -23,6 +23,13 @@ Any directive may carry a justification after ``--``::
 
 Unknown directives are reported as ``PL000`` findings rather than silently
 ignored, so a typo like ``# prodb-lint: exact`` cannot mask a violation.
+
+``exact`` marks intentional bit-exact IEEE equality only. Code computing
+in log space — notably the columnar backend's ⊕-aggregation in
+``src/repro/relational/columnar.py``, where ``log1p``/``expm1`` round-trips
+leave results a few ulps off the ideal 0.0/1.0 — compares through
+``math.isclose`` or explicit tolerances instead of pragma-blessed float
+literals.
 """
 
 from __future__ import annotations

@@ -39,6 +39,7 @@ MODULES = [
     "bench_e14_engine_cache",
     "bench_e15_boolean_kernel",
     "bench_e16_columnar_plans",
+    "bench_e17_server_throughput",
 ]
 
 RESULTS_PATH = Path(__file__).parent / "BENCH_results.json"

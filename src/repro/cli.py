@@ -4,6 +4,7 @@ Subcommands:
 
 * ``query``  — load relations from CSV files and evaluate a Boolean query;
 * ``batch``  — evaluate many queries through a caching ``EngineSession``;
+* ``serve``  — serve queries over TCP/HTTP from one shared session;
 * ``safety`` — decide the dichotomy side of a CQ/UCQ from syntax alone;
 * ``demo``   — run the built-in Figure 1 demonstration.
 
@@ -13,6 +14,7 @@ Examples::
     python -m repro query data/*.csv -q "forall x. forall y. (S(x,y) -> R(x))"
     python -m repro query data/*.csv -q "R(x), S(x,y)" --stats --seed 7
     python -m repro batch data/*.csv -q "R(x), S(x,y)" -q "T(y), S(x,y)" --stats
+    python -m repro serve data/*.csv --port 7077 --deadline-ms 100 --stats
     python -m repro safety -q "R(x), S(x,y), T(y)"
     python -m repro demo
 """
@@ -126,6 +128,90 @@ def _build_parser() -> argparse.ArgumentParser:
         help="extensional (safe-plan) executor (answers cached per-backend)",
     )
 
+    serve = sub.add_parser(
+        "serve",
+        help="serve queries over TCP (NDJSON) and HTTP from one shared session",
+    )
+    serve.add_argument(
+        "files",
+        nargs="*",
+        help="CSV files, one relation each (omit with --demo)",
+    )
+    serve.add_argument(
+        "--demo",
+        action="store_true",
+        help="serve the built-in Figure 1 database instead of CSV files",
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument(
+        "--port", type=int, default=7077, help="bind port (0: pick a free one)"
+    )
+    serve.add_argument(
+        "--workers", type=int, default=4, help="evaluation worker threads"
+    )
+    serve.add_argument(
+        "--max-pending",
+        type=int,
+        default=64,
+        help="admission bound: computations in flight before shedding load",
+    )
+    serve.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=None,
+        help="default degradation deadline per request (ladder falls back "
+        "to bounds/sampling when exact inference will not fit)",
+    )
+    serve.add_argument(
+        "--timeout-s",
+        type=float,
+        default=30.0,
+        help="hard per-request timeout (default: 30)",
+    )
+    serve.add_argument(
+        "--epsilon",
+        type=float,
+        default=0.2,
+        help="default relative error for the sampled rung (default: 0.2)",
+    )
+    serve.add_argument(
+        "--delta",
+        type=float,
+        default=0.05,
+        help="default failure probability for the sampled rung (default: 0.05)",
+    )
+    serve.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="RNG seed threaded into every sampling rung (reproducible serves)",
+    )
+    serve.add_argument(
+        "--backend",
+        default="auto",
+        choices=["auto", "rows", "columnar"],
+        help="extensional (safe-plan) executor",
+    )
+    serve.add_argument(
+        "--cache-size", type=int, default=256, help="session cache entries"
+    )
+    serve.add_argument(
+        "--no-coalesce",
+        action="store_true",
+        help="disable request coalescing and answer caching (benchmark baseline)",
+    )
+    serve.add_argument(
+        "--stats",
+        action="store_true",
+        help="log a one-line traffic summary every --stats-interval seconds",
+    )
+    serve.add_argument(
+        "--stats-interval",
+        type=float,
+        default=10.0,
+        help="seconds between --stats log lines (default: 10)",
+    )
+
     safety = sub.add_parser("safety", help="decide PTIME vs #P-hard from syntax")
     safety.add_argument("-q", "--query", required=True, help="CQ or UCQ shorthand")
 
@@ -185,6 +271,89 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .obs import get_registry
+    from .server import QueryServer, ServerConfig
+
+    if args.demo:
+        if args.files:
+            print("--demo and CSV files are mutually exclusive", file=sys.stderr)
+            return 2
+        tid = figure1_database()
+    elif args.files:
+        tid = load_tid(args.files)
+    else:
+        print("give CSV files to serve, or --demo", file=sys.stderr)
+        return 2
+    session = EngineSession(
+        tid, cache_size=args.cache_size, seed=args.seed, backend=args.backend
+    )
+    config = ServerConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        max_pending=args.max_pending,
+        coalesce=not args.no_coalesce,
+        default_deadline_s=(
+            args.deadline_ms / 1e3 if args.deadline_ms is not None else None
+        ),
+        request_timeout_s=args.timeout_s,
+        default_epsilon=args.epsilon,
+        default_delta=args.delta,
+    )
+
+    async def _run() -> None:
+        server = QueryServer(session, config)
+        await server.start()
+        print(f"listening on {args.host}:{server.port}", flush=True)
+
+        stats_task: Optional[asyncio.Task] = None
+        if args.stats:
+            registry = get_registry()
+
+            async def _log_stats() -> None:
+                while True:
+                    await asyncio.sleep(args.stats_interval)
+                    snapshot = registry.snapshot()
+                    latency = registry.histogram(
+                        "server_request_seconds",
+                        "request wall time, admission to response",
+                    )
+                    print(
+                        "stats: "
+                        f"requests={int(snapshot.get('server_requests_total', 0))} "
+                        f"coalesced={int(snapshot.get('server_coalesced_total', 0))} "
+                        f"overloaded={int(snapshot.get('server_overloaded_total', 0))} "
+                        f"errors={int(snapshot.get('server_errors_total', 0))} "
+                        f"inflight={int(snapshot.get('server_inflight', 0))} "
+                        f"latency[{latency.summary()}]",
+                        flush=True,
+                    )
+
+            stats_task = asyncio.get_running_loop().create_task(_log_stats())
+        try:
+            await server.serve_forever()
+        except asyncio.CancelledError:  # pragma: no cover - signal path
+            pass
+        finally:
+            if stats_task is not None:
+                stats_task.cancel()
+            await server.shutdown()
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:
+        # A second Ctrl-C during the drain aborts it; the first is handled
+        # by asyncio cancelling _run, which drains before returning.
+        pass
+    # serve_forever only ends via Ctrl-C/SIGINT, and _run drains on the
+    # way out — so reaching this line means a clean shutdown either way.
+    print("interrupt: drained in-flight requests, shut down cleanly")
+    return 0
+
+
 def _cmd_safety(args: argparse.Namespace) -> int:
     text = args.query
     query = parse_ucq(text) if "|" in text else parse_cq(text)
@@ -215,10 +384,22 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     handlers = {
         "query": _cmd_query,
         "batch": _cmd_batch,
+        "serve": _cmd_serve,
         "safety": _cmd_safety,
         "demo": _cmd_demo,
     }
-    return handlers[args.command](args)
+    try:
+        return handlers[args.command](args)
+    except KeyboardInterrupt:
+        # ``serve`` drains and returns 0 on Ctrl-C; for everything else the
+        # conventional "killed by SIGINT" exit status, without a traceback.
+        print("interrupted", file=sys.stderr)
+        return 130
+    except ValueError as error:
+        # ParseError (malformed query text) and other input validation
+        # failures surface as one line on stderr, not a traceback.
+        print(f"error: {error}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via tests calling main()

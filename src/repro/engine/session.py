@@ -294,6 +294,20 @@ class EngineSession:
         self.stats.record(stats)
         return out
 
+    def lineage(self, query: Query) -> object:
+        """The grounded lineage of *query*, served from the session cache.
+
+        Used by layers that need to size up a query before choosing a
+        route — e.g. the server's :class:`~repro.server.ladder.MethodLadder`
+        predicts exact-inference cost from ``lineage.variable_count``
+        without paying for grounding twice (the same cache entry feeds the
+        subsequent evaluation).
+        """
+        tid_fp = self.tid.fingerprint()
+        qfp = query_fingerprint(query)
+        parsed = self._parse_cached(query, qfp)
+        return self._lineage_factory(tid_fp, qfp)(parsed)
+
     # -- circuit-backed analyses ----------------------------------------------
 
     def _compiled(self, query: Query) -> tuple:

@@ -17,10 +17,15 @@ stats object with ``cache_hit=True`` and only a ``lookup`` stage.
 
 :class:`SessionStats` aggregates these per-query records across an
 :class:`~repro.engine.session.EngineSession`, including under concurrent
-``query_batch`` execution (all counters are updated under a lock).
+``query_batch`` execution (all counters are updated under a lock). Each
+record is also published into the process-wide metrics registry
+(:mod:`repro.obs`) — ``engine_queries_total``, cache hit/miss counters and
+the ``engine_query_seconds`` latency histogram — so a server scraping
+``/metrics`` sees engine traffic without extra plumbing.
 
-This module deliberately imports nothing from the rest of the package so
-that ``core/pdb.py`` can depend on it without an import cycle.
+This module imports only :mod:`repro.sanitize` and :mod:`repro.obs`
+(both standard-library-only) so that ``core/pdb.py`` can depend on it
+without an import cycle.
 """
 
 from __future__ import annotations
@@ -30,6 +35,7 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional
 
+from ..obs import get_registry
 from ..sanitize import RANK_STATS, RankedLock
 
 #: Canonical stage order for reports; unknown stages are appended after.
@@ -186,10 +192,31 @@ class SessionStats:
                     self.counters[name] = value
                 else:
                     self.counters[name] = self.counters.get(name, 0) + value
+        # Publish into the process-wide registry after releasing our lock
+        # (rank STATS < METRICS makes holding it legal too; not holding it
+        # keeps the critical section minimal).
+        registry = get_registry()
+        registry.counter(
+            "engine_queries_total", "queries answered by engine sessions"
+        ).inc()
+        if stats.cache_hit:
+            registry.counter(
+                "engine_cache_hits_total", "session answers served from cache"
+            ).inc()
+        else:
+            registry.counter(
+                "engine_cache_misses_total", "session answers computed cold"
+            ).inc()
+        registry.histogram(
+            "engine_query_seconds", "per-query instrumented wall time"
+        ).observe(stats.total)
 
     def record_batch(self) -> None:
         with self._lock:
             self.batches += 1
+        get_registry().counter(
+            "engine_batches_total", "query_batch invocations"
+        ).inc()
 
     @property
     def hit_rate(self) -> float:

@@ -24,9 +24,10 @@ What is audited when enabled:
 * **kernel unique-table consistency** — each interned node is stored under
   exactly the key its structure dictates, and the table holds no aliases;
 * **lock ordering** — the engine's locks carry ranks
-  (:data:`RANK_INFLIGHT` < :data:`RANK_CACHE` < :data:`RANK_STATS`) and a
-  :class:`RankedLock` refuses acquisition out of rank order, turning a
-  potential deadlock into an immediate :class:`LockOrderError`.
+  (:data:`RANK_SERVER` < :data:`RANK_INFLIGHT` < :data:`RANK_CACHE` <
+  :data:`RANK_STATS` < :data:`RANK_METRICS`) and a :class:`RankedLock`
+  refuses acquisition out of rank order, turning a potential deadlock into
+  an immediate :class:`LockOrderError`.
 
 Failures raise :class:`SanitizerError` subclasses (which extend
 ``AssertionError``: a sanitizer failure is a broken internal invariant,
@@ -52,6 +53,8 @@ __all__ = [
     "ProbabilityDomainError",
     "RANK_CACHE",
     "RANK_INFLIGHT",
+    "RANK_METRICS",
+    "RANK_SERVER",
     "RANK_STATS",
     "RankedLock",
     "SanitizerError",
@@ -256,12 +259,22 @@ def audit_kernel(manager: Any = None, force: bool = False) -> int:
 
 # -- lock ordering -----------------------------------------------------------
 
+#: Rank of server-side locks (:mod:`repro.server`): cost-predictor and
+#: other request-path state. Server locks may be held only for short
+#: container operations, never across a call into the engine session —
+#: hence the lowest rank: a server lock can never legally wrap one of the
+#: engine's locks.
+RANK_SERVER = 5
 #: Rank of :class:`repro.engine.session.EngineSession`'s in-flight lock.
 RANK_INFLIGHT = 10
 #: Rank of :class:`repro.engine.cache.LRUCache`'s lock.
 RANK_CACHE = 20
 #: Rank of :class:`repro.engine.stats.SessionStats`'s lock.
 RANK_STATS = 30
+#: Rank of :mod:`repro.obs` metric/registry locks. Highest rank: metrics
+#: are published from code already holding engine locks (e.g. stats
+#: aggregation), so the metrics lock must be acquirable last.
+RANK_METRICS = 40
 
 _held = threading.local()
 

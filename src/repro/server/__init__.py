@@ -1,0 +1,43 @@
+"""Serving layer: a query server over one shared engine session.
+
+Three cooperating pieces:
+
+* :mod:`repro.server.protocol` — the NDJSON wire format and validation;
+* :mod:`repro.server.ladder` — deadline-driven method degradation
+  (exact → dissociation bounds → seeded sampling), every answer naming
+  its rung and guarantee;
+* :mod:`repro.server.service` — the asyncio server with request
+  coalescing, admission control and graceful drain, plus the HTTP shim
+  (``POST /query``, ``GET /healthz``, ``GET /metrics``).
+
+See docs/api.md ("Serving") for the protocol and guarantee catalog.
+"""
+
+from .client import ServerClient, http_get
+from .ladder import CostPredictor, MethodLadder, RungAnswer
+from .protocol import (
+    ErrorCode,
+    ProtocolError,
+    QueryRequest,
+    decode_request,
+    encode,
+    error_response,
+)
+from .service import QueryServer, ServerConfig, ServerThread
+
+__all__ = [
+    "CostPredictor",
+    "ErrorCode",
+    "MethodLadder",
+    "ProtocolError",
+    "QueryRequest",
+    "QueryServer",
+    "RungAnswer",
+    "ServerClient",
+    "ServerConfig",
+    "ServerThread",
+    "decode_request",
+    "encode",
+    "error_response",
+    "http_get",
+]

@@ -1,0 +1,99 @@
+"""A small synchronous client for the NDJSON protocol.
+
+Used by tests, the benchmark load generator and the CI smoke script; it
+is also a reference implementation for anyone speaking the protocol from
+another language: open a TCP connection, write one JSON object per line,
+read one JSON object per line back, in order.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from typing import Any, Dict, Optional
+
+__all__ = ["ServerClient", "http_get"]
+
+
+class ServerClient:
+    """One persistent NDJSON connection to a :class:`~repro.server.QueryServer`.
+
+    Not thread-safe; use one client per thread (responses come back in
+    request order on the shared socket).
+    """
+
+    def __init__(self, host: str, port: int, timeout_s: float = 60.0):
+        self.host = host
+        self.port = port
+        self._sock = socket.create_connection((host, port), timeout=timeout_s)
+        self._reader = self._sock.makefile("r", encoding="utf-8")
+
+    def request(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        """Send one raw request object, return the decoded response."""
+        line = json.dumps(payload, separators=(",", ":")) + "\n"
+        self._sock.sendall(line.encode())
+        response = self._reader.readline()
+        if not response:
+            raise ConnectionError("server closed the connection")
+        decoded = json.loads(response)
+        if not isinstance(decoded, dict):
+            raise ValueError(f"malformed response: {response!r}")
+        return decoded
+
+    def query(
+        self,
+        query: str,
+        *,
+        method: str = "ladder",
+        backend: Optional[str] = None,
+        deadline_ms: Optional[float] = None,
+        timeout_ms: Optional[float] = None,
+        epsilon: Optional[float] = None,
+        delta: Optional[float] = None,
+        id: Optional[str] = None,
+    ) -> Dict[str, Any]:
+        """Evaluate one Boolean query; keyword args mirror the protocol."""
+        payload: Dict[str, Any] = {"query": query, "method": method}
+        for name, value in (
+            ("backend", backend),
+            ("deadline_ms", deadline_ms),
+            ("timeout_ms", timeout_ms),
+            ("epsilon", epsilon),
+            ("delta", delta),
+            ("id", id),
+        ):
+            if value is not None:
+                payload[name] = value
+        return self.request(payload)
+
+    def close(self) -> None:
+        try:
+            self._reader.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServerClient":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def http_get(host: str, port: int, path: str, timeout_s: float = 10.0) -> str:
+    """Fetch one HTTP-shim endpoint (``/healthz``, ``/metrics``); return the body."""
+    with socket.create_connection((host, port), timeout=timeout_s) as sock:
+        sock.sendall(
+            f"GET {path} HTTP/1.1\r\nHost: {host}\r\nConnection: close\r\n\r\n".encode()
+        )
+        chunks = []
+        while True:
+            chunk = sock.recv(65536)
+            if not chunk:
+                break
+            chunks.append(chunk)
+    raw = b"".join(chunks).decode("utf-8", errors="replace")
+    head, _, body = raw.partition("\r\n\r\n")
+    if not head.startswith("HTTP/1.1 200"):
+        status = head.splitlines()[0] if head else "<empty reply>"
+        raise ConnectionError(f"GET {path} failed: {status}")
+    return body

@@ -1,0 +1,194 @@
+"""The wire protocol: newline-delimited JSON requests and responses.
+
+One request per line, one response line per request, always in order.
+A request is a JSON object::
+
+    {"query": "R(x), S(x,y)",        # required: Boolean query text
+     "method": "ladder",             # optional: "ladder" (default) or any
+                                     #   engine route ("lifted", "dpll", ...)
+     "backend": "columnar",          # optional: extensional backend override
+     "deadline_ms": 50,              # optional: degradation deadline
+     "timeout_ms": 30000,            # optional: hard per-request timeout
+     "epsilon": 0.2, "delta": 0.05,  # optional: error budget for degraded rungs
+     "id": "req-17"}                 # optional: echoed back verbatim
+
+A successful response names the ladder rung that answered and the
+guarantee that rung carries::
+
+    {"ok": true, "id": "req-17", "probability": 0.8, "rung": "exact",
+     "guarantee": "exact probability (no approximation)", "exact": true,
+     "method": "lifted", "detail": "...", "coalesced": false,
+     "elapsed_ms": 1.93}
+
+Degraded answers add rung-specific fields: ``bounds`` rungs carry
+``{"lower": ..., "upper": ...}``; ``sampled`` rungs carry
+``{"epsilon": ..., "delta": ..., "samples": ...}``.
+
+Errors are ``{"ok": false, "error": <code>, "message": ...}`` with codes
+from :class:`ErrorCode` — notably ``overloaded`` (admission control shed
+the request) and ``shutting_down`` (the server is draining).
+
+The HTTP shim speaks the same JSON: ``POST /query`` takes one request
+object as the body and returns one response object.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Dict, Optional
+
+__all__ = [
+    "ErrorCode",
+    "ProtocolError",
+    "QueryRequest",
+    "decode_request",
+    "encode",
+    "error_response",
+]
+
+#: Engine methods a request may name instead of the ladder.
+_DIRECT_METHODS = (
+    "auto",
+    "lifted",
+    "safe-plan",
+    "dpll",
+    "karp-luby",
+    "monte-carlo",
+    "brute-force",
+)
+
+_BACKENDS = ("auto", "rows", "columnar")
+
+
+class ErrorCode(Enum):
+    """Machine-readable error categories."""
+
+    BAD_REQUEST = "bad_request"
+    OVERLOADED = "overloaded"
+    SHUTTING_DOWN = "shutting_down"
+    TIMEOUT = "timeout"
+    INTERNAL = "internal"
+
+
+class ProtocolError(ValueError):
+    """A request that cannot be admitted; carries the response code."""
+
+    def __init__(self, code: ErrorCode, message: str):
+        super().__init__(message)
+        self.code = code
+        self.message = message
+
+
+@dataclass(frozen=True)
+class QueryRequest:
+    """One decoded, validated request."""
+
+    query: str
+    method: str = "ladder"
+    backend: Optional[str] = None
+    deadline_ms: Optional[float] = None
+    timeout_ms: Optional[float] = None
+    epsilon: Optional[float] = None
+    delta: Optional[float] = None
+    id: Optional[str] = field(default=None)
+
+    def coalesce_key(self, db_fingerprint: str) -> tuple:
+        """The identity under which concurrent requests share one answer.
+
+        ``(db_fingerprint, query, method, backend)`` per the serving
+        design, refined by the error budget so a caller asking for a
+        tighter ε/δ never receives a looser answer.
+        """
+        return (
+            db_fingerprint,
+            " ".join(self.query.split()),
+            self.method,
+            self.backend,
+            self.epsilon,
+            self.delta,
+        )
+
+
+def _optional_number(
+    payload: Dict[str, Any], name: str, positive: bool = True
+) -> Optional[float]:
+    value = payload.get(name)
+    if value is None:
+        return None
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ProtocolError(
+            ErrorCode.BAD_REQUEST, f"field {name!r} must be a number"
+        )
+    number = float(value)
+    if positive and number <= 0:
+        raise ProtocolError(
+            ErrorCode.BAD_REQUEST, f"field {name!r} must be positive"
+        )
+    return number
+
+
+def decode_request(line: str) -> QueryRequest:
+    """Parse and validate one NDJSON request line."""
+    try:
+        payload = json.loads(line)
+    except json.JSONDecodeError as error:
+        raise ProtocolError(
+            ErrorCode.BAD_REQUEST, f"request is not valid JSON: {error}"
+        ) from None
+    if not isinstance(payload, dict):
+        raise ProtocolError(
+            ErrorCode.BAD_REQUEST, "request must be a JSON object"
+        )
+    query = payload.get("query")
+    if not isinstance(query, str) or not query.strip():
+        raise ProtocolError(
+            ErrorCode.BAD_REQUEST, "field 'query' (non-empty string) is required"
+        )
+    method = payload.get("method", "ladder")
+    if method not in ("ladder",) + _DIRECT_METHODS:
+        raise ProtocolError(
+            ErrorCode.BAD_REQUEST,
+            f"unknown method {method!r}; expected 'ladder' or one of "
+            + ", ".join(_DIRECT_METHODS),
+        )
+    backend = payload.get("backend")
+    if backend is not None and backend not in _BACKENDS:
+        raise ProtocolError(
+            ErrorCode.BAD_REQUEST,
+            f"unknown backend {backend!r}; expected one of {_BACKENDS}",
+        )
+    delta = _optional_number(payload, "delta")
+    if delta is not None and delta >= 1.0:
+        raise ProtocolError(
+            ErrorCode.BAD_REQUEST, "field 'delta' must be in (0, 1)"
+        )
+    request_id = payload.get("id")
+    if request_id is not None and not isinstance(request_id, str):
+        request_id = str(request_id)
+    return QueryRequest(
+        query=query,
+        method=str(method),
+        backend=backend,
+        deadline_ms=_optional_number(payload, "deadline_ms"),
+        timeout_ms=_optional_number(payload, "timeout_ms"),
+        epsilon=_optional_number(payload, "epsilon"),
+        delta=delta,
+        id=request_id,
+    )
+
+
+def encode(payload: Dict[str, Any]) -> str:
+    """One response object as a single NDJSON line (no trailing newline)."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def error_response(
+    code: ErrorCode, message: str, request_id: Optional[str] = None
+) -> Dict[str, Any]:
+    """The uniform error payload."""
+    out: Dict[str, Any] = {"ok": False, "error": code.value, "message": message}
+    if request_id is not None:
+        out["id"] = request_id
+    return out

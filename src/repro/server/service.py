@@ -1,0 +1,549 @@
+"""The asyncio query server: NDJSON over TCP plus a minimal HTTP shim.
+
+One :class:`QueryServer` bridges client connections onto a shared
+:class:`~repro.engine.session.EngineSession` through a bounded thread
+pool. The event loop owns all connection state; evaluations run in worker
+threads; results fan back out through asyncio futures. Three mechanics:
+
+* **Coalescing** — concurrent identical requests (same
+  ``(db_fingerprint, query, method, backend)`` identity, refined by error
+  budget) share one computation: the first becomes the *leader* and
+  submits to the pool, the rest await the leader's future and are marked
+  ``"coalesced": true`` in their responses. Answers are byte-identical to
+  what sequential evaluation would have returned.
+* **Admission control** — at most ``max_pending`` leader computations may
+  be admitted (running + queued for the pool). Beyond that the server
+  sheds load with an immediate ``overloaded`` error instead of queueing
+  unboundedly; per-request hard timeouts return ``timeout`` without
+  cancelling the shared computation (followers may still be served).
+* **Graceful drain** — :meth:`QueryServer.shutdown` stops accepting
+  connections, answers every in-flight computation, responds
+  ``shutting_down`` to requests arriving during the drain, then closes
+  every socket.
+
+Protocol sniffing: a connection whose first line starts with an HTTP verb
+is served by the shim (``POST /query``, ``GET /healthz``,
+``GET /metrics``); anything else is treated as newline-delimited JSON.
+
+All shared containers in this module are confined to the event-loop
+thread (single-threaded by construction), which is the concurrency
+discipline prodb-lint rule PL002 accepts via the ``lockfree`` pragma —
+see docs/dev.md.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from dataclasses import dataclass, field
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Dict, Optional, Set
+
+from ..engine.session import EngineSession
+from ..obs import MetricsRegistry, get_registry
+from .ladder import MethodLadder
+from .protocol import (
+    ErrorCode,
+    ProtocolError,
+    QueryRequest,
+    decode_request,
+    encode,
+    error_response,
+)
+
+__all__ = ["QueryServer", "ServerConfig", "ServerThread"]
+
+_HTTP_VERBS = (b"GET ", b"POST ", b"HEAD ", b"PUT ", b"DELETE ", b"OPTIONS ")
+
+
+@dataclass
+class ServerConfig:
+    """Tunables for one :class:`QueryServer`."""
+
+    host: str = "127.0.0.1"
+    port: int = 0  # 0: pick a free port; read it back from ``server.port``
+    workers: int = 4
+    max_pending: int = 64
+    coalesce: bool = True
+    default_deadline_s: Optional[float] = None
+    request_timeout_s: float = 30.0
+    drain_timeout_s: float = 10.0
+    default_epsilon: float = 0.2
+    default_delta: float = 0.05
+
+
+@dataclass
+class _Inflight:
+    """One leader computation and its fan-out future."""
+
+    future: "asyncio.Future[Dict[str, Any]]"
+    followers: int = 0
+    started: float = field(default_factory=time.perf_counter)
+
+
+class QueryServer:
+    """Serve Boolean queries from one engine session over TCP/HTTP.
+
+    Not thread-safe by design: construct and drive it from one event
+    loop (use :class:`ServerThread` to embed in synchronous code).
+    """
+
+    def __init__(
+        self,
+        session: EngineSession,
+        config: Optional[ServerConfig] = None,
+        *,
+        registry: Optional[MetricsRegistry] = None,
+        ladder: Optional[MethodLadder] = None,
+    ) -> None:
+        self.session = session
+        self.config = config if config is not None else ServerConfig()
+        self.registry = registry if registry is not None else get_registry()
+        self.ladder = (
+            ladder
+            if ladder is not None
+            else MethodLadder(
+                session,
+                use_cache=self.config.coalesce,
+                default_epsilon=self.config.default_epsilon,
+                default_delta=self.config.default_delta,
+            )
+        )
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._inflight: Dict[tuple, _Inflight] = {}
+        self._writers: Set[asyncio.StreamWriter] = set()
+        self._conn_tasks: "Set[asyncio.Task[None]]" = set()
+        self._active_requests = 0
+        self._draining = False
+        self._started = False
+        # -- metrics ----------------------------------------------------------
+        reg = self.registry
+        self._m_requests = reg.counter(
+            "server_requests_total", "requests received (all outcomes)"
+        )
+        self._m_answers = reg.counter(
+            "server_answers_total", "successful answers returned"
+        )
+        self._m_errors = reg.counter(
+            "server_errors_total", "error responses returned"
+        )
+        self._m_coalesced = reg.counter(
+            "server_coalesced_total", "requests served by joining an in-flight twin"
+        )
+        self._m_overloaded = reg.counter(
+            "server_overloaded_total", "requests shed by admission control"
+        )
+        self._m_timeouts = reg.counter(
+            "server_timeouts_total", "requests that hit the hard timeout"
+        )
+        self._m_shutdown = reg.counter(
+            "server_shutting_down_total", "requests refused during drain"
+        )
+        self._m_rung: Dict[str, Any] = {
+            rung: reg.counter(
+                f"server_rung_{rung}_total", f"answers served by the {rung} rung"
+            )
+            for rung in ("exact", "bounds", "sampled")
+        }
+        self._m_inflight = reg.gauge(
+            "server_inflight", "admitted leader computations in flight"
+        )
+        self._m_latency = reg.histogram(
+            "server_request_seconds", "request wall time, admission to response"
+        )
+
+    # -- lifecycle ------------------------------------------------------------
+
+    @property
+    def port(self) -> int:
+        """The actually bound port (useful with ``port=0``)."""
+        assert self._server is not None and self._server.sockets
+        return int(self._server.sockets[0].getsockname()[1])
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    async def start(self) -> None:
+        if self._started:
+            raise RuntimeError("server already started")
+        self._started = True
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.config.workers, thread_name_prefix="prodb-worker"
+        )
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port
+        )
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "call start() first"
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def shutdown(self, drain_timeout_s: Optional[float] = None) -> None:
+        """Drain gracefully: finish in-flight work, refuse new, close sockets."""
+        timeout = (
+            drain_timeout_s
+            if drain_timeout_s is not None
+            else self.config.drain_timeout_s
+        )
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+        # In-flight requests run to completion and their responses are
+        # flushed; only then are sockets torn down.
+        deadline = time.perf_counter() + timeout
+        while self._active_requests > 0 and time.perf_counter() < deadline:
+            await asyncio.sleep(0.005)
+        for writer in list(self._writers):
+            writer.close()
+        # Let connection handlers observe EOF and exit before the loop
+        # winds down (a handler cancelled mid-readline logs noisily).
+        if self._conn_tasks:
+            await asyncio.wait(list(self._conn_tasks), timeout=1.0)
+        if self._server is not None:
+            await self._server.wait_closed()
+        if self._executor is not None:
+            self._executor.shutdown(wait=False, cancel_futures=True)
+
+    # -- connection handling --------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)  # prodb-lint: lockfree -- event-loop confined
+        self._writers.add(writer)  # prodb-lint: lockfree -- event-loop confined
+        try:
+            first = await reader.readline()
+            if not first:
+                return
+            if first.startswith(_HTTP_VERBS):
+                self._active_requests += 1  # prodb-lint: lockfree -- event-loop confined
+                try:
+                    await self._handle_http(first, reader, writer)
+                finally:
+                    self._active_requests -= 1  # prodb-lint: lockfree -- event-loop confined
+                return
+            line: bytes = first
+            while line:
+                text = line.decode("utf-8", errors="replace").strip()
+                if text:
+                    self._active_requests += 1  # prodb-lint: lockfree -- event-loop confined
+                    try:
+                        response = await self._handle_request(text)
+                        writer.write((encode(response) + "\n").encode())
+                        await writer.drain()
+                    finally:
+                        self._active_requests -= 1  # prodb-lint: lockfree -- event-loop confined
+                line = await reader.readline()
+        except (ConnectionResetError, BrokenPipeError, asyncio.IncompleteReadError):
+            pass
+        except asyncio.CancelledError:
+            # Loop teardown cancelled a parked read: the connection is dead
+            # either way, and finishing cleanly avoids a spurious
+            # "exception in callback" log from asyncio.streams on 3.11.
+            pass
+        finally:
+            if task is not None:
+                self._conn_tasks.discard(task)  # prodb-lint: lockfree -- event-loop confined
+            self._writers.discard(writer)  # prodb-lint: lockfree -- event-loop confined
+            try:
+                writer.close()
+            except RuntimeError:  # pragma: no cover - loop already closing
+                pass
+
+    # -- request path ---------------------------------------------------------
+
+    async def _handle_request(self, line: str) -> Dict[str, Any]:
+        self._m_requests.inc()
+        started = time.perf_counter()
+        request_id: Optional[str] = None
+        try:
+            request = decode_request(line)
+            request_id = request.id
+            if self._draining:
+                self._m_shutdown.inc()
+                raise ProtocolError(
+                    ErrorCode.SHUTTING_DOWN, "server is draining; retry elsewhere"
+                )
+            response = await self._admit(request)
+        except ProtocolError as error:
+            self._m_errors.inc()
+            response = error_response(error.code, error.message, request_id)
+        except Exception as error:  # noqa: BLE001 - server boundary
+            self._m_errors.inc()
+            response = error_response(
+                ErrorCode.INTERNAL, f"{type(error).__name__}: {error}", request_id
+            )
+        self._m_latency.observe(time.perf_counter() - started)
+        return response
+
+    async def _admit(self, request: QueryRequest) -> Dict[str, Any]:
+        key = request.coalesce_key(self.session.tid.fingerprint())
+        entry = self._inflight.get(key) if self.config.coalesce else None
+        if entry is not None:
+            # Follower: share the leader's computation, never a pool slot.
+            entry.followers += 1
+            self._m_coalesced.inc()
+            payload = await self._await_result(entry.future, request)
+            response = dict(payload)
+            response["coalesced"] = True
+            if request.id is not None:
+                response["id"] = request.id
+            if response.get("ok"):
+                self._m_answers.inc()
+            return response
+
+        if len(self._inflight) >= self.config.max_pending:
+            self._m_overloaded.inc()
+            self._m_errors.inc()
+            raise ProtocolError(
+                ErrorCode.OVERLOADED,
+                f"pending computations at the limit ({self.config.max_pending}); "
+                "shedding load — retry with backoff",
+            )
+
+        loop = asyncio.get_running_loop()
+        future: "asyncio.Future[Dict[str, Any]]" = loop.create_future()
+        self._inflight[key] = _Inflight(future)  # prodb-lint: lockfree -- event-loop confined
+        self._m_inflight.set(len(self._inflight))
+        assert self._executor is not None, "server not started"
+        pool_future = loop.run_in_executor(self._executor, self._evaluate, request)
+        pool_future.add_done_callback(
+            lambda done: self._settle(key, future, done)
+        )
+        payload = await self._await_result(future, request)
+        response = dict(payload)
+        response["coalesced"] = False
+        if request.id is not None:
+            response["id"] = request.id
+        if response.get("ok"):
+            self._m_answers.inc()
+            rung = response.get("rung")
+            if isinstance(rung, str) and rung in self._m_rung:
+                self._m_rung[rung].inc()
+        else:
+            self._m_errors.inc()
+        return response
+
+    def _settle(
+        self,
+        key: tuple,
+        future: "asyncio.Future[Dict[str, Any]]",
+        done: "asyncio.Future[Dict[str, Any]]",
+    ) -> None:
+        # Runs on the event loop (run_in_executor futures complete there).
+        self._inflight.pop(key, None)  # prodb-lint: lockfree -- event-loop confined
+        self._m_inflight.set(len(self._inflight))
+        if future.cancelled():
+            return
+        error = done.exception()
+        if error is not None:
+            future.set_exception(error)
+        else:
+            future.set_result(done.result())
+
+    async def _await_result(
+        self, future: "asyncio.Future[Dict[str, Any]]", request: QueryRequest
+    ) -> Dict[str, Any]:
+        timeout = (
+            request.timeout_ms / 1e3
+            if request.timeout_ms is not None
+            else self.config.request_timeout_s
+        )
+        try:
+            # shield: one caller's timeout must not cancel the shared
+            # computation other coalesced callers are waiting on.
+            return await asyncio.wait_for(asyncio.shield(future), timeout)
+        except asyncio.TimeoutError:
+            self._m_timeouts.inc()
+            raise ProtocolError(
+                ErrorCode.TIMEOUT,
+                f"request exceeded its hard timeout ({timeout:g}s); "
+                "the computation keeps running for coalesced peers",
+            ) from None
+
+    def _evaluate(self, request: QueryRequest) -> Dict[str, Any]:
+        """Worker-thread entry: run the ladder, shape the response."""
+        pdb = self.session.pdb
+        previous_backend = pdb.backend
+        if request.backend is not None:
+            pdb.backend = request.backend
+        try:
+            deadline_s = (
+                request.deadline_ms / 1e3
+                if request.deadline_ms is not None
+                else self.config.default_deadline_s
+            )
+            answer = self.ladder.evaluate(
+                request.query,
+                method=request.method,
+                deadline_s=deadline_s,
+                epsilon=request.epsilon,
+                delta=request.delta,
+            )
+        except (ValueError, NotImplementedError) as error:
+            raise ProtocolError(
+                ErrorCode.BAD_REQUEST, f"{type(error).__name__}: {error}"
+            ) from error
+        finally:
+            pdb.backend = previous_backend
+        payload = answer.to_payload()
+        payload["elapsed_ms"] = round(answer.elapsed_s * 1e3, 3)
+        return payload
+
+    # -- HTTP shim ------------------------------------------------------------
+
+    async def _handle_http(
+        self,
+        request_line: bytes,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        try:
+            method, target, _ = request_line.decode("latin-1").split(" ", 2)
+        except ValueError:
+            await self._http_reply(writer, 400, "text/plain", "bad request line\n")
+            return
+        content_length = 0
+        while True:
+            header = await reader.readline()
+            if header in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = header.decode("latin-1").partition(":")
+            if name.strip().lower() == "content-length":
+                try:
+                    content_length = int(value.strip())
+                except ValueError:
+                    content_length = 0
+        if method == "GET" and target == "/healthz":
+            status = "draining" if self._draining else "ok"
+            body = json.dumps(
+                {"status": status, "inflight": len(self._inflight)}
+            )
+            await self._http_reply(writer, 200, "application/json", body + "\n")
+        elif method == "GET" and target == "/metrics":
+            await self._http_reply(
+                writer, 200, "text/plain; version=0.0.4", self.registry.render_text()
+            )
+        elif method == "POST" and target == "/query":
+            body_bytes = (
+                await reader.readexactly(content_length) if content_length else b""
+            )
+            response = await self._handle_request(
+                body_bytes.decode("utf-8", errors="replace")
+            )
+            code = 200 if response.get("ok") else _http_status(response)
+            await self._http_reply(
+                writer, code, "application/json", encode(response) + "\n"
+            )
+        else:
+            await self._http_reply(
+                writer,
+                404,
+                "text/plain",
+                "prodb endpoints: POST /query, GET /healthz, GET /metrics\n",
+            )
+
+    async def _http_reply(
+        self, writer: asyncio.StreamWriter, status: int, ctype: str, body: str
+    ) -> None:
+        reason = {200: "OK", 400: "Bad Request", 404: "Not Found", 503: "Unavailable"}
+        payload = body.encode()
+        head = (
+            f"HTTP/1.1 {status} {reason.get(status, 'Status')}\r\n"
+            f"Content-Type: {ctype}\r\n"
+            f"Content-Length: {len(payload)}\r\n"
+            "Connection: close\r\n\r\n"
+        )
+        writer.write(head.encode("latin-1") + payload)
+        await writer.drain()
+
+
+def _http_status(response: Dict[str, Any]) -> int:
+    code = response.get("error")
+    if code in (ErrorCode.OVERLOADED.value, ErrorCode.SHUTTING_DOWN.value):
+        return 503
+    if code == ErrorCode.BAD_REQUEST.value:
+        return 400
+    return 500
+
+
+class ServerThread:
+    """Run a :class:`QueryServer` on a background event-loop thread.
+
+    The synchronous embedding used by tests, benchmarks and the smoke
+    script::
+
+        with ServerThread(session) as server:
+            with ServerClient("127.0.0.1", server.port) as client:
+                client.query("R(x), S(x,y)")
+
+    ``stop()`` (or leaving the ``with`` block) performs the graceful
+    drain before joining the thread.
+    """
+
+    def __init__(
+        self,
+        session: EngineSession,
+        config: Optional[ServerConfig] = None,
+        *,
+        registry: Optional[MetricsRegistry] = None,
+        ladder: Optional[MethodLadder] = None,
+    ) -> None:
+        import threading
+
+        self._config = config if config is not None else ServerConfig()
+        self._loop = asyncio.new_event_loop()
+        self.server = QueryServer(
+            session, self._config, registry=registry, ladder=ladder
+        )
+        self._ready = threading.Event()
+        self._thread = threading.Thread(
+            target=self._run, name="prodb-server", daemon=True
+        )
+        self._stopped = False
+
+    def _run(self) -> None:
+        asyncio.set_event_loop(self._loop)
+        self._loop.run_until_complete(self.server.start())
+        self._ready.set()
+        self._loop.run_forever()
+        # Drain scheduled callbacks after run_forever stops.
+        self._loop.run_until_complete(asyncio.sleep(0))
+        self._loop.close()
+
+    def start(self) -> "ServerThread":
+        self._thread.start()
+        if not self._ready.wait(timeout=10):
+            raise RuntimeError("server thread did not come up within 10s")
+        return self
+
+    @property
+    def host(self) -> str:
+        return self._config.host
+
+    @property
+    def port(self) -> int:
+        return self.server.port
+
+    def stop(self, drain_timeout_s: Optional[float] = None) -> None:
+        if self._stopped:
+            return
+        self._stopped = True
+        future = asyncio.run_coroutine_threadsafe(
+            self.server.shutdown(drain_timeout_s), self._loop
+        )
+        future.result(timeout=30)
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout=30)
+
+    def __enter__(self) -> "ServerThread":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()

@@ -230,3 +230,49 @@ def test_cli_batch_rejects_bad_repeat(csv_dir, capsys):
         ["batch", str(csv_dir / "R.csv"), "-q", "R(x)", "--repeat", "0"]
     )
     assert code == 2
+
+
+def test_cli_query_malformed_query_one_line_error(csv_dir, capsys):
+    """A parse error exits 2 with one stderr line, never a traceback."""
+    code = main(["query", str(csv_dir / "R.csv"), "-q", "R(x,"])
+    captured = capsys.readouterr()
+    assert code == 2
+    assert captured.err.startswith("error: ")
+    assert len(captured.err.strip().splitlines()) == 1
+    assert "Traceback" not in captured.err
+
+
+def test_cli_batch_malformed_query_one_line_error(csv_dir, capsys):
+    code = main(["batch", str(csv_dir / "R.csv"), "-q", "R(x), ???"])
+    captured = capsys.readouterr()
+    assert code == 2
+    assert captured.err.startswith("error: ")
+    assert "Traceback" not in captured.err
+
+
+def test_cli_safety_malformed_query_one_line_error(capsys):
+    code = main(["safety", "-q", "R(x"])
+    captured = capsys.readouterr()
+    assert code == 2
+    assert captured.err.startswith("error: ")
+
+
+def test_cli_keyboard_interrupt_exits_130(csv_dir, capsys, monkeypatch):
+    """Ctrl-C mid-command exits 130 with a one-line message, no traceback."""
+    import repro.cli as cli
+
+    def interrupted(args):
+        raise KeyboardInterrupt
+
+    monkeypatch.setattr(cli, "_cmd_query", interrupted)
+    code = main(["query", str(csv_dir / "R.csv"), "-q", "R(x)"])
+    captured = capsys.readouterr()
+    assert code == 130
+    assert captured.err.strip() == "interrupted"
+
+
+def test_cli_serve_requires_files_or_demo(capsys):
+    code = main(["serve"])
+    captured = capsys.readouterr()
+    assert code == 2
+    assert "CSV files" in captured.err

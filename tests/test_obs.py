@@ -1,0 +1,186 @@
+"""The metrics subsystem: counters, gauges, log-linear histograms, registry."""
+
+from __future__ import annotations
+
+import math
+import threading
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.obs import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    set_registry,
+)
+
+TOL = 1e-9
+
+
+# -- counters and gauges ------------------------------------------------------
+
+
+def test_counter_monotone():
+    c = Counter("c_total", "help")
+    assert c.value == 0
+    c.inc()
+    c.inc(5)
+    assert c.value == 6
+    with pytest.raises(ValueError):
+        c.inc(-1)
+
+
+def test_gauge_moves_both_ways():
+    g = Gauge("g", "help")
+    g.set(3)
+    g.add(2)
+    g.sub(4)
+    assert abs(g.value - 1.0) <= TOL
+
+
+def test_metric_name_validation():
+    with pytest.raises(ValueError):
+        Counter("bad name!", "help")
+
+
+def test_counter_threaded_increments():
+    c = Counter("c_total", "help")
+
+    def work():
+        for _ in range(1000):
+            c.inc()
+
+    threads = [threading.Thread(target=work) for _ in range(8)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert c.value == 8000
+
+
+# -- histograms ---------------------------------------------------------------
+
+
+def test_histogram_summary_and_count():
+    h = Histogram("h_seconds", "help")
+    for v in (0.001, 0.002, 0.003, 0.004, 0.1):
+        h.observe(v)
+    assert h.count == 5
+    assert abs(h.sum - 0.11) <= TOL
+    text = h.summary()
+    assert "count=5" in text and "p50=" in text and "p99=" in text
+
+
+def test_histogram_quantiles_bracket_the_data():
+    h = Histogram("h", "help")
+    values = [0.001 * (i + 1) for i in range(100)]
+    for v in values:
+        h.observe(v)
+    p50 = h.quantile(0.5)
+    p99 = h.quantile(0.99)
+    # Bucketed quantiles overestimate by at most one sub-bucket width
+    # (12.5% relative for 8 sub-buckets per power of two).
+    assert 0.045 <= p50 <= 0.06
+    assert 0.09 <= p99 <= 0.1 + TOL
+    assert p99 <= h.quantile(1.0) + TOL
+
+
+@given(
+    st.lists(
+        st.floats(min_value=1e-6, max_value=1e6, allow_nan=False),
+        min_size=1,
+        max_size=60,
+    ),
+    st.sampled_from([0.5, 0.9, 0.95, 0.99]),
+)
+def test_histogram_quantile_relative_error(values, q):
+    """Any quantile is within one sub-bucket (12.5%) above a true value."""
+    h = Histogram("h", "help")
+    for v in values:
+        h.observe(v)
+    estimate = h.quantile(q)
+    values.sort()
+    rank = min(len(values) - 1, math.ceil(q * len(values)) - 1)
+    true = values[max(rank, 0)]
+    assert estimate >= true - TOL  # never understates the quantile
+    assert estimate <= max(v for v in values) + TOL  # clamped to the max seen
+
+
+def test_histogram_rejects_negative():
+    h = Histogram("h", "help")
+    with pytest.raises(ValueError):
+        h.observe(-1.0)
+
+
+# -- registry -----------------------------------------------------------------
+
+
+def test_registry_get_or_create_and_kind_conflict():
+    reg = MetricsRegistry()
+    c1 = reg.counter("x_total", "help")
+    c2 = reg.counter("x_total", "help")
+    assert c1 is c2
+    with pytest.raises(ValueError):
+        reg.gauge("x_total", "help")
+
+
+def test_registry_render_text_prometheus_shape():
+    reg = MetricsRegistry()
+    reg.counter("a_total", "a help").inc(3)
+    reg.gauge("b", "b help").set(1.5)
+    h = reg.histogram("c_seconds", "c help")
+    h.observe(0.25)
+    text = reg.render_text()
+    assert "# HELP a_total a help" in text
+    assert "# TYPE a_total counter" in text
+    assert "a_total 3" in text
+    assert "# TYPE b gauge" in text
+    assert "# TYPE c_seconds summary" in text
+    assert 'c_seconds{quantile="0.5"}' in text
+    assert "c_seconds_count 1" in text
+
+
+def test_registry_snapshot():
+    reg = MetricsRegistry()
+    reg.counter("a_total", "h").inc(2)
+    reg.gauge("g", "h").set(7)
+    snap = reg.snapshot()
+    assert snap["a_total"] == 2
+    assert snap["g"] == 7
+
+
+def test_default_registry_swap():
+    original = get_registry()
+    fresh = MetricsRegistry()
+    set_registry(fresh)
+    try:
+        assert get_registry() is fresh
+        get_registry().counter("swapped_total", "h").inc()
+        assert fresh.snapshot()["swapped_total"] == 1
+    finally:
+        set_registry(original)
+
+
+def test_engine_session_publishes_metrics():
+    """SessionStats.record feeds the process-wide registry."""
+    from repro.engine.session import EngineSession
+    from repro.workloads.generators import figure1_database
+
+    original = get_registry()
+    fresh = MetricsRegistry()
+    set_registry(fresh)
+    try:
+        session = EngineSession(figure1_database(), seed=3)
+        session.query("R(x), S(x,y)")
+        session.query("R(x), S(x,y)")
+        snap = fresh.snapshot()
+        assert snap["engine_queries_total"] == 2
+        assert snap["engine_cache_hits_total"] == 1
+        assert snap["engine_cache_misses_total"] == 1
+        assert fresh.histogram("engine_query_seconds", "").count == 2
+    finally:
+        set_registry(original)

@@ -149,7 +149,14 @@ class PL002UnguardedSharedMutation(Rule):
     name = "unguarded-shared-mutation"
 
     def applies(self, relpath: str) -> bool:
-        return relpath.startswith(("src/repro/engine/", "src/repro/booleans/"))
+        return relpath.startswith(
+            (
+                "src/repro/engine/",
+                "src/repro/booleans/",
+                "src/repro/server/",
+                "src/repro/obs/",
+            )
+        )
 
     def check(self, ctx) -> Iterator[Triple]:
         tree = ctx.tree

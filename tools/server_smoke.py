@@ -1,0 +1,90 @@
+"""CI smoke test for the serving layer.
+
+Starts a real server on a background thread, round-trips queries over
+both the NDJSON protocol and the HTTP shim — including one answer forced
+down a degraded ladder rung — scrapes ``/metrics``, then shuts down
+gracefully. Exits nonzero on any deviation.
+
+Run as::
+
+    PYTHONPATH=src python tools/server_smoke.py
+"""
+
+from __future__ import annotations
+
+import sys
+
+
+def fail(message: str) -> None:
+    print(f"FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main() -> None:
+    from repro.engine.session import EngineSession
+    from repro.server import ServerClient, ServerConfig, ServerThread, http_get
+    from repro.workloads.generators import figure1_database
+
+    session = EngineSession(figure1_database(), seed=7)
+    # Use the process-default registry so the scrape also shows the engine
+    # counters SessionStats publishes (the smoke runs in its own process).
+    config = ServerConfig(workers=2, default_epsilon=0.3, default_delta=0.1)
+
+    with ServerThread(session, config) as server:
+        host, port = server.host, server.port
+        print(f"server up on {host}:{port}")
+
+        with ServerClient(host, port) as client:
+            # 1. Exact answer via the ladder.
+            exact = client.query("R(x), S(x,y)", id="smoke-1")
+            if not exact.get("ok"):
+                fail(f"exact query failed: {exact}")
+            if exact.get("rung") != "exact" or not exact.get("exact"):
+                fail(f"expected the exact rung: {exact}")
+            if "guarantee" not in exact or exact.get("id") != "smoke-1":
+                fail(f"missing guarantee or id echo: {exact}")
+            print(f"  exact rung: P={exact['probability']:.6f} [{exact['method']}]")
+
+            # 2. A degraded answer: a deadline no exact route can meet.
+            degraded = client.query(
+                "R(x), S(x,y)", deadline_ms=0.0001, epsilon=0.3, delta=0.1
+            )
+            if not degraded.get("ok"):
+                fail(f"degraded query failed: {degraded}")
+            if degraded.get("rung") not in ("bounds", "sampled"):
+                fail(f"expected a degraded rung: {degraded}")
+            if not degraded.get("guarantee"):
+                fail(f"degraded answer must state its guarantee: {degraded}")
+            error = abs(degraded["probability"] - exact["probability"])
+            print(
+                f"  degraded rung: {degraded['rung']} "
+                f"P={degraded['probability']:.6f} (|Δ|={error:.4f}) — "
+                f"{degraded['guarantee']}"
+            )
+
+            # 3. Protocol validation stays a response, not a dropped socket.
+            bad = client.request({"query": "R(x,"})
+            if bad.get("ok") or bad.get("error") != "bad_request":
+                fail(f"malformed query must yield bad_request: {bad}")
+            print(f"  bad request rejected: {bad['message']}")
+
+        # 4. HTTP shim: health, one POSTed query, and the metrics scrape.
+        health = http_get(host, port, "/healthz")
+        if '"status": "ok"' not in health:
+            fail(f"unexpected /healthz body: {health!r}")
+        metrics = http_get(host, port, "/metrics")
+        for needed in (
+            "server_requests_total",
+            "server_answers_total",
+            "server_request_seconds",
+            "engine_queries_total",
+        ):
+            if needed not in metrics:
+                fail(f"/metrics missing {needed}:\n{metrics}")
+        print(f"  /metrics exposes {len(metrics.splitlines())} lines")
+
+    print("server smoke OK (graceful shutdown)")
+
+
+if __name__ == "__main__":
+    main()

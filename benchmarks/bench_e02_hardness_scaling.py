@@ -111,16 +111,25 @@ def test_e02_lifted_safe_n100(benchmark):
     assert 0.0 <= benchmark(run) <= 1.0
 
 
+# Filled by main() for run_all_tables.py / BENCH_results.json.
+BENCH_RESULTS = {}
+
+
 def main():
+    rows_h0 = h0_rows()
+    rows_safe = safe_rows()
     print_table(
         "E2a: exact grounded inference on H0 (exponential)",
         ["n", "lineage vars", "Shannon expansions", "time", "p"],
-        h0_rows(),
+        rows_h0,
     )
     print_table(
         "E2b: lifted inference on the safe query R(x),S(x,y) (polynomial)",
         ["n", "tuples", "time", "p"],
-        safe_rows(),
+        rows_safe,
+    )
+    BENCH_RESULTS.update(
+        {"h0_max_n": rows_h0[-1][0], "safe_max_n": rows_safe[-1][0]}
     )
     print_table(
         "E2c ablation: DPLL variants on H0, n=3",

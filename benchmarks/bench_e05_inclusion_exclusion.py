@@ -80,16 +80,30 @@ def test_e05_grounded_qj(benchmark):
     assert 0.0 <= result <= 1.0
 
 
+# Filled by main() for run_all_tables.py / BENCH_results.json.
+BENCH_RESULTS = {}
+
+
 def main():
     rows, _ = rule_profile_rows()
     print_table("E5: lifted derivation profile for Q_J", ["rule", "count"], rows)
     db = make_db()
+    needs_ie = False
     try:
         LiftedEngine(db, use_inclusion_exclusion=False).probability(QJ)
         print("basic rules alone: LIFTED (unexpected!)")
     except NonLiftableError as error:
+        needs_ie = True
         print(f"\nbasic rules alone: NOT liftable — stuck on [{error.subquery}]")
         print("with inclusion/exclusion: liftable (table above), matching Sec. 5.")
+    BENCH_RESULTS.update(
+        {
+            "lifted_rules_fired": sum(
+                int(count) for _, count in rows if str(count).isdigit()
+            ),
+            "needs_inclusion_exclusion": needs_ie,
+        }
+    )
 
 
 if __name__ == "__main__":

@@ -103,12 +103,18 @@ def test_e06_unsafe_plan_execution(benchmark):
     assert 0.0 <= result <= 1.0
 
 
+# Filled by main() for run_all_tables.py / BENCH_results.json.
+BENCH_RESULTS = {}
+
+
 def main():
+    rows = comparison_rows()
     print_table(
         "E6: Plan1 vs Plan2 (footnote 9) on Figure 1 data",
         ["seed", "Plan1", "Plan2", "exact", "Plan2 safe?", "Plan1 ≥ exact?"],
-        comparison_rows(),
+        rows,
     )
+    BENCH_RESULTS.update({"seeds_checked": len(rows)})
 
 
 if __name__ == "__main__":

@@ -89,13 +89,21 @@ def test_e07_single_plan_upper(benchmark):
     assert 0.0 <= result <= 1.0 + 1e-9
 
 
+# Filled by main() for run_all_tables.py / BENCH_results.json.
+BENCH_RESULTS = {}
+
+
 def main():
+    sandwich = sandwich_rows()
     print_table(
         "E7: Theorem 6.1 sandwich on H0-CQ (random TIDs, n=3)",
         ["seed", "lower", "exact", "upper", "width", "contained"],
-        sandwich_rows(),
+        sandwich,
     )
     rows, exact = ablation_rows()
+    BENCH_RESULTS.update(
+        {"sandwich_instances": len(sandwich), "ablation_exact_p": exact}
+    )
     print_table(
         f"E7 ablation: per-plan bounds vs min-over-plans (exact = {exact:.6f})",
         ["plan (dissociation)", "lower", "upper", "upper slack"],

@@ -114,16 +114,25 @@ def test_e08_compile_nonhierarchical(benchmark):
     assert benchmark(run) > 0
 
 
+# Filled by main() for run_all_tables.py / BENCH_results.json.
+BENCH_RESULTS = {}
+
+
 def main():
+    rows_easy = hierarchical_rows()
+    rows_hard = hard_rows()
     print_table(
         "E8a: OBDD size, hierarchical R(x),S(x,y) (Thm 7.1(i)(a))",
         ["n", "lineage vars", "hierarchy order", "predicate-major order"],
-        hierarchical_rows(),
+        rows_easy,
     )
     print_table(
         "E8b: OBDD size, non-hierarchical H0-CQ (Thm 7.1(i)(b))",
         ["n", "lineage vars", "default order", "(2^n-1)/n bound", "exhaustive min"],
-        hard_rows(),
+        rows_hard,
+    )
+    BENCH_RESULTS.update(
+        {"hierarchical_max_n": rows_easy[-1][0], "hard_max_n": rows_hard[-1][0]}
     )
 
 

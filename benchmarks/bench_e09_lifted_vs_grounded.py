@@ -115,16 +115,28 @@ def test_e09_lifted_n20(benchmark):
     assert 0.0 <= benchmark(run) <= 1.0
 
 
+# Filled by main() for run_all_tables.py / BENCH_results.json.
+BENCH_RESULTS = {}
+
+
 def main():
+    rows_grounded = grounded_rows()
+    rows_lifted = lifted_rows()
     print_table(
         "E9a: decision-DNNF trace of DPLL on Q_W (exponential)",
         ["n", "lineage vars", "trace size", "DPLL time", "lifted time"],
-        grounded_rows(),
+        rows_grounded,
     )
     print_table(
         "E9b: lifted inference on Q_W (polynomial)",
         ["n", "tuples", "time", "p"],
-        lifted_rows(),
+        rows_lifted,
+    )
+    BENCH_RESULTS.update(
+        {
+            "grounded_max_n": rows_grounded[-1][0],
+            "lifted_max_n": rows_lifted[-1][0],
+        }
     )
 
 

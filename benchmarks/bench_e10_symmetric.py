@@ -124,21 +124,31 @@ def test_e10_wfomc_alternation_n15(benchmark):
     assert 0.0 <= result <= 1.0
 
 
+# Filled by main() for run_all_tables.py / BENCH_results.json.
+BENCH_RESULTS = {}
+
+
 def main():
+    rows_h0 = h0_rows()
+    rows_scaling = scaling_rows()
+    rows_fo2 = fo2_rows()
     print_table(
         "E10a: symmetric H0 — closed form vs FO² WFOMC vs oracle",
         ["n", "closed form", "WFOMC", "possible worlds"],
-        h0_rows(),
+        rows_h0,
     )
     print_table(
         "E10b: closed-form scaling (polynomial, Sec. 8)",
         ["n", "p(H0)", "time"],
-        scaling_rows(),
+        rows_scaling,
     )
     print_table(
         "E10c: Theorem 8.1 — FO² panel on a symmetric database (n=2)",
         ["query", "WFOMC", "oracle", "status"],
-        fo2_rows(),
+        rows_fo2,
+    )
+    BENCH_RESULTS.update(
+        {"closed_form_max_n": rows_scaling[-1][0], "fo2_queries": len(rows_fo2)}
     )
 
 

@@ -162,21 +162,34 @@ def test_e11_direct_mln(benchmark):
     assert 0.0 <= result <= 1.0
 
 
+# Filled by main() for run_all_tables.py / BENCH_results.json.
+BENCH_RESULTS = {}
+
+
 def main():
+    rows_agree = agreement_rows()
+    rows_erratum = erratum_rows()
+    rows_lifted = lifted_scaling_rows()
     print_table(
         "E11a: Prop. 3.1 — p_MLN(Q) vs p_D(Q|Γ) (w = 3.9, domain = 2)",
         ["query", "direct MLN", "or-encoding", "iff-encoding", "status"],
-        agreement_rows(),
+        rows_agree,
     )
     print_table(
         "E11b: erratum — auxiliary probability 1/(w−1) vs 1/w",
         ["p(Aux) formula", "value", "p_D(Q|Γ)", "p_MLN(Q)", "status"],
-        erratum_rows(),
+        rows_erratum,
     )
     print_table(
         "E11c: lifted MLN inference (symmetric WFOMC; enumeration infeasible past n=2)",
         ["domain n", "possible tuples", "p(∀ rule)", "time"],
-        lifted_scaling_rows(),
+        rows_lifted,
+    )
+    BENCH_RESULTS.update(
+        {
+            "agreement_queries": len(rows_agree),
+            "lifted_max_domain": rows_lifted[-1][0],
+        }
     )
 
 

@@ -97,6 +97,10 @@ def test_e12_factored_network(benchmark):
     assert result > 0
 
 
+# Filled by main() for run_all_tables.py / BENCH_results.json.
+BENCH_RESULTS = {}
+
+
 def main():
     print_table(
         f"E12: Figure 3 table (w = {tuple(W.values())}, w4 = {W4})",
@@ -105,6 +109,9 @@ def main():
     )
     weight, partition = weighted_model_count(F, W)
     print(f"\nweight(F) = {weight:g}   Z = {partition:g}   p(F) = {weight / partition:.6f}")
+    BENCH_RESULTS.update(
+        {"weight_F": weight, "partition_Z": partition, "p_F": weight / partition}
+    )
 
 
 if __name__ == "__main__":

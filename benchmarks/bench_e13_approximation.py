@@ -126,6 +126,10 @@ def test_e13_exact_reference(benchmark):
     assert 0.0 <= result <= 1.0
 
 
+# Filled by main() for run_all_tables.py / BENCH_results.json.
+BENCH_RESULTS = {}
+
+
 def main():
     rows, exact = convergence_rows()
     print_table(
@@ -139,6 +143,7 @@ def main():
         ["estimator", "estimate", "relative error"],
         rows,
     )
+    BENCH_RESULTS.update({"exact_p": exact, "estimators_compared": len(rows)})
 
 
 if __name__ == "__main__":

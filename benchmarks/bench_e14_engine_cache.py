@@ -104,6 +104,10 @@ def test_e14_cached_equals_uncached():
         assert cold.probability == reference.probability(query).probability
 
 
+# Filled by main() for run_all_tables.py / BENCH_results.json.
+BENCH_RESULTS = {}
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -152,6 +156,12 @@ def main():
         ],
     )
     print(session.report())
+    BENCH_RESULTS.update(
+        {
+            "cold_warm_speedup": round(cold_time / warm_time, 1),
+            "batch_speedup": round(sequential_time / batch_time, 2),
+        }
+    )
 
 
 if __name__ == "__main__":

@@ -1,0 +1,316 @@
+"""E18 — multi-process serving: shard-attached workers vs one process.
+
+The worker pool's scaling story on a cache-bound workload: D distinct
+#P-hard queries (the same join pattern under renamed variables, so every
+one is a separate cache entry) are driven closed-loop against the server
+in ``mode="processes"``. Each worker owns a private LRU sized so that
+
+* **workers=1** — all D queries land on the single worker, whose cache
+  cannot hold them (cyclic access over a working set larger than the
+  LRU is the classic 0%-hit pathology): every request re-runs DPLL;
+* **workers=4** — consistent hashing splits the D queries across four
+  workers, each subset *fits* its owner's cache: after one warm-up pass
+  every request is a cache hit.
+
+The cache size is computed from the actual routing assignment (the ring
+is deterministic over content hashes), so the fit/thrash contrast holds
+by construction rather than by luck. Three measurements:
+
+* **throughput scaling** — workers=4 must deliver ≥ 2.5× the rps of
+  workers=1 on the same workload (single-CPU machines included: the
+  scaling comes from cache partitioning, not core count);
+* **tail latency** — p99 stays bounded at 10× oversubscription
+  (40 client threads over 4 workers);
+* **answer identity** — the pooled server's answers are byte-identical
+  to the single-process threads-mode server on every query
+  (``elapsed_ms``, ``coalesced``/``id`` and the diagnostic ``detail``
+  string excepted — see docs/api.md, "Serving: multi-process mode").
+
+Run directly for tables (``--quick`` for the CI smoke variant), or via
+``pytest benchmarks/bench_e18_worker_pool.py`` for the assertions.
+"""
+
+import argparse
+import json
+import threading
+import time
+
+from repro.engine.cache import query_fingerprint
+from repro.engine.session import EngineSession
+from repro.obs import MetricsRegistry
+from repro.server import ServerClient, ServerConfig, ServerThread, http_get
+from repro.server.pool import _HashRing
+from repro.workloads.generators import full_tid
+
+from tables import print_table
+
+#: Distinct renamed copies of the #P-hard join: one cache entry family each.
+D = 64
+
+QUERIES = tuple(f"R(x{i}), S(x{i},y{i}), T(y{i})" for i in range(D))
+
+#: Domain size for ``full_tid``: n=6 makes one cold DPLL evaluation ~30ms,
+#: two orders of magnitude over a cache hit — the contrast the bench rides.
+DOMAIN = 6
+
+SEED = 18
+WORKERS = 4
+SCALING_FLOOR = 2.5
+P99_BUDGET_S = 5.0
+
+#: LRU entries one query occupies (parsed query + lineage + answer).
+ENTRIES_PER_QUERY = 3
+
+# Filled by main() for run_all_tables.py / BENCH_results.json.
+BENCH_RESULTS = {}
+
+
+def _database():
+    return full_tid(41, DOMAIN)
+
+
+def worker_cache_size():
+    """Size the per-worker LRU from the actual routing assignment.
+
+    Big enough that the busiest worker's query subset fits (plus slack),
+    small enough that all D queries cycling through one worker thrash.
+    """
+    fingerprint = _database().fingerprint()
+    ring = _HashRing()
+    for worker in range(WORKERS):
+        ring.add(worker)
+    owned = [0] * WORKERS
+    for query in QUERIES:
+        owned[ring.route(f"{fingerprint}|{query_fingerprint(query)}")] += 1
+    cache = ENTRIES_PER_QUERY * (max(owned) + 4)
+    assert cache < ENTRIES_PER_QUERY * D, (
+        f"cache {cache} would fit all {D} queries: no thrash at workers=1 "
+        f"(assignment {owned})"
+    )
+    return cache, owned
+
+
+def _make_server(workers, mode="processes"):
+    session = EngineSession(_database(), seed=SEED)
+    cache, _ = worker_cache_size()
+    config = ServerConfig(
+        workers=workers,
+        mode=mode,
+        worker_cache_size=cache,
+        max_pending=4096,
+        request_timeout_s=120.0,
+    )
+    return ServerThread(session, config, registry=MetricsRegistry())
+
+
+def _warmup(port):
+    """One sequential pass over every query: fills caches that can fit."""
+    with ServerClient("127.0.0.1", port, timeout_s=120.0) as client:
+        for query in QUERIES:
+            response = client.query(query, method="dpll")
+            assert response.get("ok"), response
+
+
+def closed_loop(port, clients, requests_each):
+    """Drive with *clients* closed-loop threads; return (lat, resp, wall)."""
+    latencies = []
+    responses = []
+    lock = threading.Lock()
+    errors = []
+
+    def run_client(index):
+        try:
+            with ServerClient("127.0.0.1", port, timeout_s=120.0) as client:
+                local_lat, local_resp = [], []
+                for i in range(requests_each):
+                    query = QUERIES[(index + i) % D]
+                    start = time.perf_counter()
+                    response = client.query(query, method="dpll")
+                    local_lat.append(time.perf_counter() - start)
+                    local_resp.append(response)
+                with lock:
+                    latencies.extend(local_lat)
+                    responses.extend(local_resp)
+        except Exception as error:  # noqa: BLE001 - surfaced to the caller
+            with lock:
+                errors.append(error)
+
+    threads = [
+        threading.Thread(target=run_client, args=(i,)) for i in range(clients)
+    ]
+    start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - start
+    if errors:
+        raise errors[0]
+    return latencies, responses, elapsed
+
+
+def measure_pool(workers, clients, requests_each):
+    """Warm, then measure one pool size; returns throughput + tail stats."""
+    with _make_server(workers) as server:
+        _warmup(server.port)
+        latencies, responses, elapsed = closed_loop(
+            server.port, clients, requests_each
+        )
+        # Scraping /metrics folds the workers' own counters into the
+        # front registry (refresh_metrics) so the snapshot sees them.
+        http_get("127.0.0.1", server.port, "/metrics")
+        snapshot = server.server.registry.snapshot()
+    total = clients * requests_each
+    assert len(responses) == total
+    for response in responses:
+        assert response.get("ok"), f"request failed: {response}"
+        assert response.get("guarantee"), response
+    latencies.sort()
+    return {
+        "throughput": total / elapsed,
+        "elapsed": elapsed,
+        "p50": latencies[len(latencies) // 2],
+        "p99": latencies[min(len(latencies) - 1, int(len(latencies) * 0.99))],
+        "worker_hits": int(
+            snapshot.get("server_workers_engine_cache_hits_total", 0)
+        ),
+        "worker_misses": int(
+            snapshot.get("server_workers_engine_cache_misses_total", 0)
+        ),
+    }
+
+
+# -- answer identity ----------------------------------------------------------
+
+_ENVELOPE_EXCLUDED = ("elapsed_ms", "coalesced", "id", "detail")
+
+
+def _strip(response):
+    assert response.get("ok"), response
+    return json.dumps(
+        {k: v for k, v in response.items() if k not in _ENVELOPE_EXCLUDED},
+        sort_keys=True,
+    ).encode()
+
+
+def answers_identical(sample_every=8):
+    """Pooled answers vs the single-process threads server, byte-for-byte."""
+    sample = QUERIES[::sample_every]
+    mismatches = []
+    with _make_server(2, mode="threads") as reference_server:
+        with _make_server(2, mode="processes") as pooled_server:
+            with ServerClient(
+                "127.0.0.1", reference_server.port, timeout_s=120.0
+            ) as reference:
+                with ServerClient(
+                    "127.0.0.1", pooled_server.port, timeout_s=120.0
+                ) as pooled:
+                    for query in sample:
+                        ours = pooled.query(query, method="dpll")
+                        theirs = reference.query(query, method="dpll")
+                        if _strip(ours) != _strip(theirs):
+                            mismatches.append((query, ours, theirs))
+    return len(sample), mismatches
+
+
+# -- assertions (pytest benchmarks/bench_e18_worker_pool.py) ------------------
+
+
+def test_e18_pool_scaling():
+    one = measure_pool(1, clients=8, requests_each=6)
+    four = measure_pool(WORKERS, clients=8, requests_each=6)
+    ratio = four["throughput"] / one["throughput"]
+    assert ratio >= SCALING_FLOOR, (
+        f"workers={WORKERS} scaling {ratio:.2f}× < {SCALING_FLOOR}× "
+        f"(1: {one['throughput']:.0f} rps, {WORKERS}: {four['throughput']:.0f} rps)"
+    )
+
+
+def test_e18_bounded_p99_oversubscribed():
+    result = measure_pool(WORKERS, clients=10 * WORKERS, requests_each=4)
+    assert result["p99"] <= P99_BUDGET_S, (
+        f"p99 {result['p99']:.2f}s over budget {P99_BUDGET_S}s "
+        f"under {10 * WORKERS} clients / {WORKERS} workers"
+    )
+
+
+def test_e18_answers_identical():
+    checked, mismatches = answers_identical(sample_every=16)
+    assert checked >= 4
+    assert not mismatches, mismatches[0]
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true", help="small instances (CI smoke run)"
+    )
+    args = parser.parse_args()
+    requests_each = 6 if args.quick else 16
+    clients = 8
+    cache, owned = worker_cache_size()
+    print(
+        f"D={D} queries over {WORKERS} workers: assignment {owned}, "
+        f"per-worker LRU {cache} entries "
+        f"(all {D} need {ENTRIES_PER_QUERY * D})"
+    )
+
+    one = measure_pool(1, clients, requests_each)
+    four = measure_pool(WORKERS, clients, requests_each)
+    ratio = four["throughput"] / one["throughput"]
+    print_table(
+        f"E18a: closed-loop throughput ({clients} clients × {requests_each} "
+        f"requests, D={D} distinct queries, domain n={DOMAIN})",
+        ["pool", "throughput", "p50", "p99", "worker hits/misses"],
+        [
+            (
+                "1 worker process (cache thrash)",
+                f"{one['throughput']:.0f} rps",
+                f"{one['p50'] * 1e3:.1f}ms",
+                f"{one['p99'] * 1e3:.1f}ms",
+                f"{one['worker_hits']}/{one['worker_misses']}",
+            ),
+            (
+                f"{WORKERS} worker processes (caches fit)",
+                f"{four['throughput']:.0f} rps",
+                f"{four['p50'] * 1e3:.1f}ms",
+                f"{four['p99'] * 1e3:.1f}ms",
+                f"{four['worker_hits']}/{four['worker_misses']}",
+            ),
+        ],
+    )
+    print(f"pool scaling: {ratio:.1f}× (must be ≥ {SCALING_FLOOR}×)")
+    assert ratio >= SCALING_FLOOR, (
+        f"workers={WORKERS} must scale ≥ {SCALING_FLOOR}×, got {ratio:.2f}×"
+    )
+
+    oversub = measure_pool(
+        WORKERS, clients=10 * WORKERS, requests_each=2 if args.quick else 4
+    )
+    print(
+        f"p99 under 10× oversubscription ({10 * WORKERS} clients): "
+        f"{oversub['p99'] * 1e3:.1f}ms (budget {P99_BUDGET_S:.0f}s)"
+    )
+    assert oversub["p99"] <= P99_BUDGET_S
+
+    checked, mismatches = answers_identical(sample_every=8)
+    print(
+        f"answer identity: {checked - len(mismatches)}/{checked} queries "
+        f"byte-identical to the threads-mode server"
+    )
+    assert not mismatches, mismatches[0]
+
+    BENCH_RESULTS.update(
+        {
+            "pool_scaling_ratio": round(ratio, 2),
+            "throughput_rps_workers1": round(one["throughput"], 1),
+            f"throughput_rps_workers{WORKERS}": round(four["throughput"], 1),
+            "p99_ms_oversubscribed": round(oversub["p99"] * 1e3, 2),
+            "answers_byte_identical": not mismatches,
+            "worker_cache_entries": cache,
+        }
+    )
+
+
+if __name__ == "__main__":
+    main()

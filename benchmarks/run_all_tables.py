@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Regenerate every experiment table (E1–E16) in one run.
+"""Regenerate every experiment table (E1–E18) in one run.
 
 The per-experiment benchmark modules each expose a ``main()`` that prints
 the paper-shaped series; this driver runs them all in order. EXPERIMENTS.md
@@ -9,7 +9,9 @@ Besides the printed tables, the run writes ``BENCH_results.json`` next to
 this script: one record per benchmark with its name, wall-clock seconds,
 and whatever machine-readable metrics the module published through its
 ``BENCH_RESULTS`` dict (e.g. E16's row-vs-columnar speedup ratio) — the
-hook for tracking performance across commits.
+hook for tracking performance across commits. A bench that publishes no
+metrics fails the run loudly: silent gaps in ``BENCH_results.json`` would
+otherwise read as "nothing regressed".
 
 Run:  python benchmarks/run_all_tables.py
 """
@@ -40,6 +42,7 @@ MODULES = [
     "bench_e15_boolean_kernel",
     "bench_e16_columnar_plans",
     "bench_e17_server_throughput",
+    "bench_e18_worker_pool",
 ]
 
 RESULTS_PATH = Path(__file__).parent / "BENCH_results.json"
@@ -55,11 +58,17 @@ def main() -> None:
         seconds = time.perf_counter() - start
         print(f"\n[{name} done in {seconds:.1f}s]")
         print("=" * 72)
+        metrics = dict(getattr(module, "BENCH_RESULTS", {}))
+        if not metrics:
+            raise SystemExit(
+                f"{name} published no BENCH_RESULTS metrics — every bench "
+                "must record at least one machine-readable result"
+            )
         records.append(
             {
                 "bench": name,
                 "seconds": round(seconds, 3),
-                "metrics": dict(getattr(module, "BENCH_RESULTS", {})),
+                "metrics": metrics,
             }
         )
     total = time.perf_counter() - total_start

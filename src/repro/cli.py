@@ -147,7 +147,20 @@ def _build_parser() -> argparse.ArgumentParser:
         "--port", type=int, default=7077, help="bind port (0: pick a free one)"
     )
     serve.add_argument(
-        "--workers", type=int, default=4, help="evaluation worker threads"
+        "--workers",
+        type=int,
+        default=4,
+        help="evaluation workers (threads, or processes with --mode processes)",
+    )
+    serve.add_argument(
+        "--mode",
+        choices=("threads", "processes"),
+        default="threads",
+        help=(
+            "evaluation backend: 'threads' shares one session; 'processes' "
+            "publishes the database as shared-memory shards and routes to "
+            "worker processes by consistent hashing"
+        ),
     )
     serve.add_argument(
         "--max-pending",
@@ -294,6 +307,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         host=args.host,
         port=args.port,
         workers=args.workers,
+        mode=args.mode,
         max_pending=args.max_pending,
         coalesce=not args.no_coalesce,
         default_deadline_s=(

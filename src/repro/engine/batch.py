@@ -88,10 +88,20 @@ def _eval_in_worker(item: tuple[str, str]) -> QueryAnswer:
     return _WORKER_PDB.probability(query, Method(method_value))
 
 
-def _mp_context() -> multiprocessing.context.BaseContext:
-    # fork (where available) skips re-importing the package per worker.
+def mp_context() -> multiprocessing.context.BaseContext:
+    """The start method every process fan-out in the package shares.
+
+    Never ``fork``: by the time a batch or the server pool spawns workers
+    the parent may already run an asyncio loop, thread pools and ranked
+    locks, and forking duplicates held locks and live threads into the
+    child mid-state. ``forkserver`` keeps child startup cheap (the server
+    process imports the package once, before any threads exist) and
+    ``spawn`` is the portable fallback.
+    """
     methods = multiprocessing.get_all_start_methods()
-    return multiprocessing.get_context("fork" if "fork" in methods else None)
+    return multiprocessing.get_context(
+        "forkserver" if "forkserver" in methods else "spawn"
+    )
 
 
 def _run_process_batch(
@@ -115,7 +125,7 @@ def _run_process_batch(
     )
     with ProcessPoolExecutor(
         max_workers=workers,
-        mp_context=_mp_context(),
+        mp_context=mp_context(),
         initializer=_init_worker,
         initargs=(facts, domain, options),
     ) as pool:

@@ -42,6 +42,7 @@ __all__ = [
     "available",
     "execute_boolean_columnar",
     "execute_columnar",
+    "seed_scan_cache",
 ]
 
 #: ``backend="auto"`` switches to columnar at this many stored facts: below
@@ -82,6 +83,19 @@ def _encoded_relation(
         encoded = columnar.from_relation(relation)
         cached[1][predicate] = encoded
     return encoded
+
+
+def seed_scan_cache(
+    db: TupleIndependentDatabase, encoded: dict[str, ColumnarRelation]
+) -> None:
+    """Pre-populate the per-database scan memo with *encoded* relations.
+
+    Used by the multi-process server: a worker that attaches shared-memory
+    shards (:mod:`repro.relational.shm`) already holds every base relation
+    in columnar form, so seeding the memo makes the first scan of each
+    predicate zero-copy instead of re-encoding the rows.
+    """
+    setattr(db, _SCAN_CACHE_ATTR, (db.version, dict(encoded)))
 
 
 # -- plan execution -----------------------------------------------------------

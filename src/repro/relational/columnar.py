@@ -128,6 +128,47 @@ class ValueInterner:
                 values[code] = value
         return [values[c] for c in codes]
 
+    def snapshot(self) -> list:
+        """The dictionary as a list of values ordered by code.
+
+        Codes are dense (0..n-1 in first-sight order), so the list *is*
+        the whole mapping: ``snapshot()[code] == value``. This is the
+        transportable form used to ship the dictionary to worker
+        processes — see :meth:`load_snapshot` and
+        :mod:`repro.relational.shm`.
+        """
+        with self._lock:
+            values = [None] * len(self._codes)
+            for value, code in self._codes.items():
+                values[code] = value
+        return values
+
+    def load_snapshot(self, values: Sequence[object]) -> None:
+        """Install a snapshot so this interner agrees code-for-code.
+
+        Loading into a fresh interner reproduces the source dictionary
+        bit-for-bit. Loading into a non-empty one is allowed only when
+        every assignment agrees (the snapshot extends, or is a prefix of,
+        the existing dictionary) — a conflicting code would silently
+        re-label columns encoded earlier, so it raises ``ValueError``.
+        """
+        with self._lock:
+            codes = self._codes
+            for code, value in enumerate(values):
+                existing = codes.get(value)
+                if existing is None:
+                    if len(codes) != code:
+                        raise ValueError(
+                            f"interner snapshot conflict: value {value!r} wants "
+                            f"code {code} but the next free code is {len(codes)}"
+                        )
+                    codes[value] = code
+                elif existing != code:
+                    raise ValueError(
+                        f"interner snapshot conflict: value {value!r} is coded "
+                        f"{existing} here but {code} in the snapshot"
+                    )
+
 
 #: The default interner shared by every relation in the process.
 DEFAULT_INTERNER = ValueInterner()

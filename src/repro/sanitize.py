@@ -24,8 +24,9 @@ What is audited when enabled:
 * **kernel unique-table consistency** — each interned node is stored under
   exactly the key its structure dictates, and the table holds no aliases;
 * **lock ordering** — the engine's locks carry ranks
-  (:data:`RANK_SERVER` < :data:`RANK_INFLIGHT` < :data:`RANK_CACHE` <
-  :data:`RANK_STATS` < :data:`RANK_METRICS`) and a :class:`RankedLock`
+  (:data:`RANK_WORKER_POOL` < :data:`RANK_SERVER` < :data:`RANK_INFLIGHT`
+  < :data:`RANK_CACHE` < :data:`RANK_STATS` < :data:`RANK_METRICS`) and a
+  :class:`RankedLock`
   refuses acquisition out of rank order, turning a potential deadlock into
   an immediate :class:`LockOrderError`.
 
@@ -56,6 +57,7 @@ __all__ = [
     "RANK_METRICS",
     "RANK_SERVER",
     "RANK_STATS",
+    "RANK_WORKER_POOL",
     "RankedLock",
     "SanitizerError",
     "TOLERANCE",
@@ -259,6 +261,12 @@ def audit_kernel(manager: Any = None, force: bool = False) -> int:
 
 # -- lock ordering -----------------------------------------------------------
 
+#: Rank of the multi-process worker pool's internal locks
+#: (:mod:`repro.server.pool`): routing ring and pending-request table.
+#: Lowest rank of all — the pool's response-reader thread settles request
+#: futures whose callbacks re-enter server-ranked code, so pool locks must
+#: never be held while a server lock is taken, only the other way around.
+RANK_WORKER_POOL = 3
 #: Rank of server-side locks (:mod:`repro.server`): cost-predictor and
 #: other request-path state. Server locks may be held only for short
 #: container operations, never across a call into the engine session —

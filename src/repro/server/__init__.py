@@ -8,13 +8,17 @@ Three cooperating pieces:
   its rung and guarantee;
 * :mod:`repro.server.service` — the asyncio server with request
   coalescing, admission control and graceful drain, plus the HTTP shim
-  (``POST /query``, ``GET /healthz``, ``GET /metrics``).
+  (``POST /query``, ``GET /healthz``, ``GET /metrics``);
+* :mod:`repro.server.pool` — the multi-process mode: shared-memory
+  columnar shards published once, N spawned workers attached read-only,
+  consistent-hash routing for cache affinity, crash requeue-or-shed.
 
 See docs/api.md ("Serving") for the protocol and guarantee catalog.
 """
 
 from .client import ServerClient, http_get
 from .ladder import CostPredictor, MethodLadder, RungAnswer
+from .pool import WorkerOptions, WorkerPool
 from .protocol import (
     ErrorCode,
     ProtocolError,
@@ -36,6 +40,8 @@ __all__ = [
     "ServerClient",
     "ServerConfig",
     "ServerThread",
+    "WorkerOptions",
+    "WorkerPool",
     "decode_request",
     "encode",
     "error_response",

@@ -1,0 +1,589 @@
+"""A pool of worker *processes* behind the asyncio front door.
+
+The thread-pool serving mode is GIL-bound: one cold exact computation
+occupies the whole interpreter. This module scales out instead — N
+``spawn``/``forkserver`` worker processes, each owning a private
+:class:`~repro.engine.session.EngineSession` over the **same** bytes:
+the parent publishes the database once as shared-memory columnar shards
+(:mod:`repro.relational.shm`) and every worker attaches read-only,
+zero-copy.
+
+Routing is a consistent-hash ring over
+``(db_fingerprint, query_fingerprint)``: a given query always lands on
+the same worker, so that worker's answer/lineage caches stay hot and the
+pool's aggregate cache capacity is the *sum* of the per-worker caches
+rather than N copies of one. When a worker dies the ring re-routes only
+the keys it owned.
+
+Crash semantics: the response-reader thread notices a dead worker (its
+process stops answering ``is_alive()``), fails it out of the ring, and
+re-queues each of its in-flight requests **once** onto a surviving
+worker; a request that already used its retry — or that finds no
+survivors — is settled with an explicit ``overloaded`` error. A killed
+worker therefore never yields a hung or corrupted reply, only a served
+or explicitly-shed one.
+
+Lock discipline: the single internal lock ranks
+:data:`~repro.sanitize.RANK_WORKER_POOL` — below every server and engine
+lock — and is held only for table/ring bookkeeping, never across queue
+operations that can block or while settling futures.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import queue as queue_module
+import signal
+import threading
+import time
+from bisect import bisect_right, insort
+from concurrent.futures import Future
+from dataclasses import asdict, dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..engine.cache import query_fingerprint
+from ..obs import MetricsRegistry, get_registry
+from ..relational.shm import DatabaseHandle, attach
+from ..sanitize import RANK_WORKER_POOL, RankedLock
+from .protocol import ErrorCode, ProtocolError, QueryRequest
+
+__all__ = ["WorkerOptions", "WorkerPool"]
+
+#: Worker-side idle poll / heartbeat period, seconds.
+_HEARTBEAT_S = 0.5
+
+#: Parent-side response poll period, seconds (also bounds crash latency).
+_POLL_S = 0.1
+
+#: How many times a request orphaned by a worker crash is re-queued
+#: before it is shed with ``overloaded``.
+_MAX_REQUEUES = 1
+
+#: Virtual nodes per worker on the consistent-hash ring.
+_RING_REPLICAS = 64
+
+
+@dataclass(frozen=True)
+class WorkerOptions:
+    """Picklable per-worker engine/ladder configuration."""
+
+    cache_size: int = 256
+    seed: Optional[int] = None
+    backend: Optional[str] = None
+    exact_lineage_limit: int = 40
+    mc_epsilon: float = 0.02
+    mc_delta: float = 0.05
+    use_cache: bool = True
+    default_epsilon: float = 0.2
+    default_delta: float = 0.05
+    default_deadline_s: Optional[float] = None
+
+
+# -- worker process ----------------------------------------------------------
+
+
+def _evaluate_in_worker(
+    ladder: Any, options: WorkerOptions, fields: Dict[str, Any]
+) -> Dict[str, Any]:
+    """Mirror of ``QueryServer._evaluate``: run the ladder, shape the payload.
+
+    Errors become error *payloads* (not exceptions): the parent settles
+    the future with whatever comes back, keeping responses byte-identical
+    to the in-process path where ``ProtocolError`` takes the same shape.
+    """
+    request = QueryRequest(**fields)
+    pdb = ladder.session.pdb
+    previous_backend = pdb.backend
+    if request.backend is not None:
+        pdb.backend = request.backend
+    try:
+        deadline_s = (
+            request.deadline_ms / 1e3
+            if request.deadline_ms is not None
+            else options.default_deadline_s
+        )
+        answer = ladder.evaluate(
+            request.query,
+            method=request.method,
+            deadline_s=deadline_s,
+            epsilon=request.epsilon,
+            delta=request.delta,
+        )
+    except (ValueError, NotImplementedError) as error:
+        return {
+            "ok": False,
+            "error": ErrorCode.BAD_REQUEST.value,
+            "message": f"{type(error).__name__}: {error}",
+        }
+    except Exception as error:  # noqa: BLE001 - worker boundary
+        return {
+            "ok": False,
+            "error": ErrorCode.INTERNAL.value,
+            "message": f"{type(error).__name__}: {error}",
+        }
+    finally:
+        pdb.backend = previous_backend
+    payload = answer.to_payload()
+    payload["elapsed_ms"] = round(answer.elapsed_s * 1e3, 3)
+    return payload
+
+
+def _worker_main(
+    index: int,
+    handle: DatabaseHandle,
+    options: WorkerOptions,
+    request_queue: Any,
+    response_queue: Any,
+) -> None:
+    """Entry point of one worker process.
+
+    Attaches the shared shards, builds a private session + ladder, then
+    serves its request queue; idle gaps emit heartbeats carrying this
+    process's metrics snapshot so the parent can merge them.
+    """
+    # A terminal Ctrl-C signals the whole foreground process group; the
+    # parent owns the drain (stop sentinels after in-flight work settles),
+    # so workers must not die mid-request with a KeyboardInterrupt.
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    pid = os.getpid()
+    try:
+        from ..engine.session import EngineSession
+        from ..plans.vectorized import seed_scan_cache
+        from .ladder import MethodLadder
+
+        shards = attach(handle)  # interner snapshot → this process's default
+        db = shards.to_tid()  # fingerprint-verified against the handle
+        seed_scan_cache(db, shards.columnar)
+        session = EngineSession(
+            db,
+            cache_size=options.cache_size,
+            seed=options.seed,
+            backend=options.backend,
+        )
+        session.pdb.exact_lineage_limit = options.exact_lineage_limit
+        session.pdb.mc_epsilon = options.mc_epsilon
+        session.pdb.mc_delta = options.mc_delta
+        ladder = MethodLadder(
+            session,
+            use_cache=options.use_cache,
+            default_epsilon=options.default_epsilon,
+            default_delta=options.default_delta,
+        )
+    except BaseException as error:  # noqa: BLE001 - report, then die
+        response_queue.put(
+            {"kind": "failed", "worker": index, "pid": pid, "message": repr(error)}
+        )
+        raise
+    registry = get_registry()
+    response_queue.put({"kind": "ready", "worker": index, "pid": pid})
+    while True:
+        try:
+            message = request_queue.get(timeout=_HEARTBEAT_S)
+        except queue_module.Empty:
+            response_queue.put(
+                {
+                    "kind": "heartbeat",
+                    "worker": index,
+                    "pid": pid,
+                    "metrics": registry.snapshot(),
+                }
+            )
+            continue
+        if message.get("op") == "stop":
+            break
+        payload = _evaluate_in_worker(ladder, options, message["request"])
+        response_queue.put(
+            {
+                "kind": "answer",
+                "worker": index,
+                "seq": message["seq"],
+                "payload": payload,
+                "metrics": registry.snapshot(),
+            }
+        )
+
+
+# -- consistent hashing ------------------------------------------------------
+
+
+def _ring_hash(key: str) -> int:
+    return int.from_bytes(
+        hashlib.blake2b(key.encode("utf-8"), digest_size=8).digest(), "big"
+    )
+
+
+class _HashRing:
+    """A deterministic consistent-hash ring over worker indices."""
+
+    def __init__(self, replicas: int = _RING_REPLICAS) -> None:
+        self._replicas = replicas
+        self._points: List[Tuple[int, int]] = []  # sorted (hash, worker)
+
+    def add(self, worker: int) -> None:
+        for replica in range(self._replicas):
+            insort(self._points, (_ring_hash(f"worker:{worker}:{replica}"), worker))
+
+    def remove(self, worker: int) -> None:
+        self._points = [p for p in self._points if p[1] != worker]
+
+    def route(self, key: str) -> Optional[int]:
+        if not self._points:
+            return None
+        position = bisect_right(self._points, (_ring_hash(key), -1))
+        if position == len(self._points):
+            position = 0
+        return self._points[position][1]
+
+
+# -- parent-side pool --------------------------------------------------------
+
+
+@dataclass
+class _Worker:
+    """Parent-side bookkeeping for one worker process."""
+
+    index: int
+    process: Any
+    request_queue: Any
+    pid: Optional[int] = None
+    alive: bool = True
+    depth: int = 0  # submitted but not yet answered
+    last_seen: float = 0.0
+    metrics: Optional[Dict[str, float]] = None
+
+
+@dataclass
+class _Pending:
+    """One routed request awaiting its answer."""
+
+    future: "Future[Dict[str, Any]]"
+    worker: int
+    message: Dict[str, Any]
+    requeues: int = 0
+
+
+class WorkerPool:
+    """N worker processes over shared shards, with affinity routing.
+
+    ``submit`` returns a :class:`concurrent.futures.Future` resolved by
+    the response-reader thread; the front door wraps it with
+    ``asyncio.wrap_future``. All public methods are thread-safe.
+    """
+
+    def __init__(
+        self,
+        handle: DatabaseHandle,
+        workers: int,
+        *,
+        options: Optional[WorkerOptions] = None,
+        registry: Optional[MetricsRegistry] = None,
+        start_timeout_s: float = 60.0,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("worker pool needs at least one worker")
+        self.handle = handle
+        self.options = options if options is not None else WorkerOptions()
+        self.registry = registry if registry is not None else get_registry()
+        self._start_timeout_s = start_timeout_s
+        self._lock = RankedLock(RANK_WORKER_POOL, "server.pool")
+        self._workers: List[_Worker] = []
+        self._pending: Dict[int, _Pending] = {}
+        self._ring = _HashRing()
+        self._seq = 0
+        self._started = False
+        self._stopping = False
+        self._response_queue: Any = None
+        self._reader: Optional[threading.Thread] = None
+        self._requested = workers
+        reg = self.registry
+        self._m_crashes = reg.counter(
+            "server_worker_crashes_total", "worker processes found dead"
+        )
+        self._m_requeued = reg.counter(
+            "server_requeued_total", "orphaned requests re-queued after a crash"
+        )
+        self._m_alive: List[Any] = []
+        self._m_depth: List[Any] = []
+        self._m_beat_age: List[Any] = []
+        for index in range(workers):
+            self._m_alive.append(
+                reg.gauge(
+                    f"server_worker_{index}_alive",
+                    f"1 while worker {index}'s process is alive",
+                )
+            )
+            self._m_depth.append(
+                reg.gauge(
+                    f"server_worker_{index}_queue_depth",
+                    f"requests submitted to worker {index} and not yet answered",
+                )
+            )
+            self._m_beat_age.append(
+                reg.gauge(
+                    f"server_worker_{index}_heartbeat_age_seconds",
+                    f"seconds since worker {index} last reported in",
+                )
+            )
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def start(self) -> None:
+        """Spawn the workers and wait until every one is serving."""
+        if self._started:
+            raise RuntimeError("worker pool already started")
+        self._started = True
+        from ..engine.batch import mp_context
+
+        context = mp_context()
+        self._response_queue = context.Queue()
+        now = time.monotonic()
+        for index in range(self._requested):
+            request_queue = context.Queue()
+            process = context.Process(
+                target=_worker_main,
+                args=(
+                    index,
+                    self.handle,
+                    self.options,
+                    request_queue,
+                    self._response_queue,
+                ),
+                name=f"prodb-pool-{index}",
+                daemon=True,
+            )
+            process.start()
+            with self._lock:
+                self._workers.append(
+                    _Worker(index, process, request_queue, last_seen=now)
+                )
+        ready: set[int] = set()
+        deadline = time.monotonic() + self._start_timeout_s
+        while len(ready) < self._requested:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                self.shutdown()
+                raise RuntimeError(
+                    f"worker pool: only {len(ready)}/{self._requested} workers "
+                    f"came up within {self._start_timeout_s:g}s"
+                )
+            try:
+                message = self._response_queue.get(timeout=min(remaining, _POLL_S * 5))
+            except queue_module.Empty:
+                continue
+            if message.get("kind") == "failed":
+                self.shutdown()
+                raise RuntimeError(
+                    f"worker {message.get('worker')} failed to start: "
+                    f"{message.get('message')}"
+                )
+            if message.get("kind") == "ready":
+                index = int(message["worker"])
+                ready.add(index)
+                with self._lock:
+                    worker = self._workers[index]
+                    worker.pid = int(message["pid"])
+                    worker.last_seen = time.monotonic()
+                    self._ring.add(index)
+        self._reader = threading.Thread(
+            target=self._drain_responses, name="prodb-pool-reader", daemon=True
+        )
+        self._reader.start()
+
+    def shutdown(self, timeout_s: float = 10.0) -> None:
+        """Stop the workers, settle unanswered futures, join everything."""
+        with self._lock:
+            if self._stopping:
+                return
+            self._stopping = True
+            workers = list(self._workers)
+            orphans = list(self._pending.values())
+            self._pending = {}
+        for entry in orphans:
+            if not entry.future.done():
+                entry.future.set_exception(
+                    ProtocolError(
+                        ErrorCode.SHUTTING_DOWN,
+                        "server is draining; retry elsewhere",
+                    )
+                )
+        for worker in workers:
+            if worker.process.is_alive():
+                try:
+                    worker.request_queue.put({"op": "stop"})
+                except (ValueError, OSError):  # pragma: no cover - queue closed
+                    pass
+        deadline = time.monotonic() + timeout_s
+        for worker in workers:
+            worker.process.join(timeout=max(0.0, deadline - time.monotonic()))
+            if worker.process.is_alive():  # pragma: no cover - stuck worker
+                worker.process.terminate()
+                worker.process.join(timeout=1.0)
+        if self._reader is not None and self._reader is not threading.current_thread():
+            self._reader.join(timeout=5.0)
+        for worker in workers:
+            worker.request_queue.cancel_join_thread()
+            worker.request_queue.close()
+        if self._response_queue is not None:
+            self._response_queue.cancel_join_thread()
+            self._response_queue.close()
+
+    # -- submission ------------------------------------------------------------
+
+    def submit(self, request: QueryRequest) -> "Future[Dict[str, Any]]":
+        """Route *request* to its affinity worker; resolve via the reader."""
+        key = f"{self.handle.fingerprint}|{query_fingerprint(request.query)}"
+        future: "Future[Dict[str, Any]]" = Future()
+        with self._lock:
+            if self._stopping:
+                raise ProtocolError(
+                    ErrorCode.SHUTTING_DOWN, "server is draining; retry elsewhere"
+                )
+            index = self._ring.route(key)
+            if index is None:
+                raise ProtocolError(
+                    ErrorCode.OVERLOADED,
+                    "no live workers; shedding load — retry with backoff",
+                )
+            worker = self._workers[index]
+            seq = self._seq
+            self._seq += 1
+            message = {"op": "query", "seq": seq, "request": asdict(request)}
+            self._pending[seq] = _Pending(future, index, message)
+            worker.depth += 1
+        worker.request_queue.put(message)
+        return future
+
+    # -- response reader -------------------------------------------------------
+
+    def _drain_responses(self) -> None:
+        while True:
+            with self._lock:
+                if self._stopping and not self._pending:
+                    return
+            try:
+                message = self._response_queue.get(timeout=_POLL_S)
+            except queue_module.Empty:
+                message = None
+            except (ValueError, OSError):  # pragma: no cover - queue closed
+                return
+            if message is not None:
+                self._on_message(message)
+            self._reap_dead()
+
+    def _on_message(self, message: Dict[str, Any]) -> None:
+        kind = message.get("kind")
+        entry: Optional[_Pending] = None
+        with self._lock:
+            index = int(message.get("worker", -1))
+            if 0 <= index < len(self._workers):
+                worker = self._workers[index]
+                worker.last_seen = time.monotonic()
+                metrics = message.get("metrics")
+                if isinstance(metrics, dict):
+                    worker.metrics = metrics
+                if kind == "answer":
+                    entry = self._pending.pop(int(message["seq"]), None)
+                    worker.depth = max(0, worker.depth - 1)
+        if entry is not None and not entry.future.done():
+            entry.future.set_result(message["payload"])
+
+    def _reap_dead(self) -> None:
+        """Fail dead workers out of the ring; requeue or shed their orphans."""
+        shed: List[_Pending] = []
+        requeued: List[Tuple[_Worker, Dict[str, Any]]] = []
+        with self._lock:
+            for worker in self._workers:
+                if not worker.alive or worker.process.is_alive():
+                    continue
+                worker.alive = False
+                worker.depth = 0
+                self._ring.remove(worker.index)
+                self._m_crashes.inc()
+                orphan_seqs = [
+                    seq
+                    for seq, entry in self._pending.items()
+                    if entry.worker == worker.index
+                ]
+                for seq in orphan_seqs:
+                    entry = self._pending[seq]
+                    target: Optional[int] = None
+                    if entry.requeues < _MAX_REQUEUES:
+                        target = self._ring.route(f"requeue:{seq}")
+                    if target is None:
+                        del self._pending[seq]
+                        shed.append(entry)
+                        continue
+                    entry.requeues += 1
+                    entry.worker = target
+                    survivor = self._workers[target]
+                    survivor.depth += 1
+                    self._m_requeued.inc()
+                    requeued.append((survivor, entry.message))
+        for survivor, message in requeued:
+            survivor.request_queue.put(message)
+        for entry in shed:
+            if not entry.future.done():
+                entry.future.set_exception(
+                    ProtocolError(
+                        ErrorCode.OVERLOADED,
+                        "worker process died mid-computation; request shed — "
+                        "retry with backoff",
+                    )
+                )
+
+    # -- observability ---------------------------------------------------------
+
+    def workers_info(self) -> List[Dict[str, Any]]:
+        """Per-worker liveness for ``/healthz``."""
+        now = time.monotonic()
+        out: List[Dict[str, Any]] = []
+        with self._lock:
+            for worker in self._workers:
+                out.append(
+                    {
+                        "worker": worker.index,
+                        "pid": worker.pid,
+                        "alive": worker.alive and worker.process.is_alive(),
+                        "queue_depth": worker.depth,
+                        "heartbeat_age_s": round(now - worker.last_seen, 3),
+                    }
+                )
+        return out
+
+    def all_alive(self) -> bool:
+        with self._lock:
+            return all(
+                worker.alive and worker.process.is_alive()
+                for worker in self._workers
+            )
+
+    def refresh_metrics(self) -> None:
+        """Publish per-worker gauges and merge worker counters (as gauges).
+
+        Quantile-style snapshot keys cannot be merged by summation, so
+        only monotone ``*_total`` / ``*_count`` / ``*_sum`` keys aggregate
+        into ``server_workers_<name>``.
+        """
+        now = time.monotonic()
+        merged: Dict[str, float] = {}
+        with self._lock:
+            for worker in self._workers:
+                alive = worker.alive and worker.process.is_alive()
+                self._m_alive[worker.index].set(1.0 if alive else 0.0)
+                self._m_depth[worker.index].set(float(worker.depth))
+                self._m_beat_age[worker.index].set(round(now - worker.last_seen, 3))
+                for name, value in (worker.metrics or {}).items():
+                    if name.endswith(("_total", "_count", "_sum")):
+                        merged[name] = merged.get(name, 0.0) + float(value)
+        for name, value in merged.items():
+            self.registry.gauge(
+                f"server_workers_{name}", "summed across pool workers"
+            ).set(value)
+
+    def __enter__(self) -> "WorkerPool":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.shutdown()

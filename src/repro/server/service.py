@@ -59,11 +59,22 @@ _HTTP_VERBS = (b"GET ", b"POST ", b"HEAD ", b"PUT ", b"DELETE ", b"OPTIONS ")
 
 @dataclass
 class ServerConfig:
-    """Tunables for one :class:`QueryServer`."""
+    """Tunables for one :class:`QueryServer`.
+
+    ``mode`` selects the evaluation backend behind the asyncio front
+    door: ``"threads"`` (default) runs the ladder in a bounded thread
+    pool over the one shared session; ``"processes"`` publishes the
+    database as shared-memory shards and fans out to ``workers`` worker
+    *processes* with consistent-hash routing
+    (:mod:`repro.server.pool`). Coalescing, admission control, deadlines
+    and graceful drain behave identically in both modes, and answers are
+    byte-identical.
+    """
 
     host: str = "127.0.0.1"
     port: int = 0  # 0: pick a free port; read it back from ``server.port``
     workers: int = 4
+    mode: str = "threads"  # "threads" | "processes"
     max_pending: int = 64
     coalesce: bool = True
     default_deadline_s: Optional[float] = None
@@ -71,6 +82,7 @@ class ServerConfig:
     drain_timeout_s: float = 10.0
     default_epsilon: float = 0.2
     default_delta: float = 0.05
+    worker_cache_size: Optional[int] = None  # processes mode; None: parent's size
 
 
 @dataclass
@@ -110,8 +122,15 @@ class QueryServer:
                 default_delta=self.config.default_delta,
             )
         )
+        if self.config.mode not in ("threads", "processes"):
+            raise ValueError(
+                f"unknown server mode {self.config.mode!r}; "
+                "expected 'threads' or 'processes'"
+            )
         self._server: Optional[asyncio.AbstractServer] = None
         self._executor: Optional[ThreadPoolExecutor] = None
+        self._pool: Optional[Any] = None
+        self._shards: Optional[Any] = None
         self._inflight: Dict[tuple, _Inflight] = {}
         self._writers: Set[asyncio.StreamWriter] = set()
         self._conn_tasks: "Set[asyncio.Task[None]]" = set()
@@ -170,9 +189,49 @@ class QueryServer:
         if self._started:
             raise RuntimeError("server already started")
         self._started = True
-        self._executor = ThreadPoolExecutor(
-            max_workers=self.config.workers, thread_name_prefix="prodb-worker"
-        )
+        if self.config.mode == "processes":
+            # Publish once, spawn workers, verify they all came up before
+            # the socket accepts anything.
+            from ..relational.shm import publish
+            from .pool import WorkerOptions, WorkerPool
+
+            pdb = self.session.pdb
+            options = WorkerOptions(
+                cache_size=(
+                    self.config.worker_cache_size
+                    if self.config.worker_cache_size is not None
+                    else self.session.cache.maxsize
+                ),
+                seed=pdb.seed,
+                backend=pdb.backend,
+                exact_lineage_limit=pdb.exact_lineage_limit,
+                mc_epsilon=pdb.mc_epsilon,
+                mc_delta=pdb.mc_delta,
+                use_cache=self.config.coalesce,
+                default_epsilon=self.config.default_epsilon,
+                default_delta=self.config.default_delta,
+                default_deadline_s=self.config.default_deadline_s,
+            )
+            self._shards = publish(self.session.tid)
+            pool = WorkerPool(
+                self._shards.handle,
+                self.config.workers,
+                options=options,
+                registry=self.registry,
+            )
+            loop = asyncio.get_running_loop()
+            try:
+                # start() blocks on worker spawn — keep the loop responsive.
+                await loop.run_in_executor(None, pool.start)
+            except BaseException:
+                self._shards.unlink()
+                self._shards = None
+                raise
+            self._pool = pool
+        else:
+            self._executor = ThreadPoolExecutor(
+                max_workers=self.config.workers, thread_name_prefix="prodb-worker"
+            )
         self._server = await asyncio.start_server(
             self._handle_connection, self.config.host, self.config.port
         )
@@ -207,6 +266,13 @@ class QueryServer:
             await self._server.wait_closed()
         if self._executor is not None:
             self._executor.shutdown(wait=False, cancel_futures=True)
+        if self._pool is not None:
+            loop = asyncio.get_running_loop()
+            await loop.run_in_executor(None, self._pool.shutdown)
+            self._pool = None
+        if self._shards is not None:
+            self._shards.unlink()
+            self._shards = None
 
     # -- connection handling --------------------------------------------------
 
@@ -311,8 +377,21 @@ class QueryServer:
         future: "asyncio.Future[Dict[str, Any]]" = loop.create_future()
         self._inflight[key] = _Inflight(future)  # prodb-lint: lockfree -- event-loop confined
         self._m_inflight.set(len(self._inflight))
-        assert self._executor is not None, "server not started"
-        pool_future = loop.run_in_executor(self._executor, self._evaluate, request)
+        if self._pool is not None:
+            try:
+                worker_future = self._pool.submit(request)
+            except ProtocolError:
+                self._inflight.pop(key, None)  # prodb-lint: lockfree -- event-loop confined
+                self._m_inflight.set(len(self._inflight))
+                raise
+            pool_future: "asyncio.Future[Dict[str, Any]]" = asyncio.wrap_future(
+                worker_future, loop=loop
+            )
+        else:
+            assert self._executor is not None, "server not started"
+            pool_future = loop.run_in_executor(
+                self._executor, self._evaluate, request
+            )
         pool_future.add_done_callback(
             lambda done: self._settle(key, future, done)
         )
@@ -422,11 +501,24 @@ class QueryServer:
                     content_length = 0
         if method == "GET" and target == "/healthz":
             status = "draining" if self._draining else "ok"
-            body = json.dumps(
-                {"status": status, "inflight": len(self._inflight)}
-            )
-            await self._http_reply(writer, 200, "application/json", body + "\n")
+            payload: Dict[str, Any] = {
+                "status": status,
+                "inflight": len(self._inflight),
+            }
+            code = 200
+            if self._pool is not None:
+                self._pool.refresh_metrics()
+                workers = self._pool.workers_info()
+                payload["mode"] = "processes"
+                payload["workers"] = workers
+                if any(not worker["alive"] for worker in workers):
+                    payload["status"] = "degraded"
+                    code = 503
+            body = json.dumps(payload)
+            await self._http_reply(writer, code, "application/json", body + "\n")
         elif method == "GET" and target == "/metrics":
+            if self._pool is not None:
+                self._pool.refresh_metrics()
             await self._http_reply(
                 writer, 200, "text/plain; version=0.0.4", self.registry.render_text()
             )

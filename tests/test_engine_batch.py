@@ -144,3 +144,20 @@ def test_threaded_batch_is_internally_consistent(workload):
         by_query.setdefault(query, set()).add(answer.probability)
     for query, values in by_query.items():
         assert len(values) == 1, f"divergent answers for {query}: {values}"
+
+
+def test_mp_context_never_uses_fork():
+    """Process batches must not fork: the engine holds locks and threads.
+
+    forkserver is preferred (cheap re-spawn after the first), spawn is the
+    portable fallback; plain fork would duplicate a possibly-locked
+    interpreter and is never acceptable.
+    """
+    import multiprocessing
+
+    from repro.engine.batch import mp_context
+
+    context = mp_context()
+    assert context.get_start_method() in ("forkserver", "spawn")
+    if "forkserver" in multiprocessing.get_all_start_methods():
+        assert context.get_start_method() == "forkserver"

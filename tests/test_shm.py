@@ -1,0 +1,187 @@
+"""Shared-memory shards: round trips, interner transport, immutability."""
+
+from __future__ import annotations
+
+import random
+import threading
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.tid import TupleIndependentDatabase
+from repro.relational.columnar import ValueInterner, from_relation
+from repro.relational.shm import attach, publish
+from repro.workloads.generators import figure1_database
+
+# Value pool: mixed types, all hashable, all repr-stable.
+_VALUES = st.one_of(
+    st.integers(min_value=-5, max_value=5),
+    st.sampled_from(["a", "b", "c", "d1", "d2", "♥"]),
+)
+_PROBS = st.floats(min_value=0.0, max_value=1.0, allow_nan=False, width=64)
+
+
+@st.composite
+def tids(draw):
+    db = TupleIndependentDatabase()
+    db.add_relation("R", ("a0",))
+    db.add_relation("S", ("a0", "a1"))
+    db.add_relation("E", ("a0",))  # stays empty: schema-only shard
+    for _ in range(draw(st.integers(min_value=0, max_value=8))):
+        db.set_fact("R", (draw(_VALUES),), draw(_PROBS))
+    for _ in range(draw(st.integers(min_value=0, max_value=8))):
+        db.set_fact("S", (draw(_VALUES), draw(_VALUES)), draw(_PROBS))
+    return db
+
+
+@settings(max_examples=30, deadline=None)
+@given(db=tids())
+def test_publish_attach_round_trips_bit_for_bit(db):
+    """Attached codes and probabilities equal the source arrays exactly."""
+    source_interner = ValueInterner()
+    reference = {
+        name: from_relation(relation, source_interner)
+        for name, relation in sorted(db.relations.items())
+    }
+    publisher = publish(db, source_interner)
+    try:
+        attached = attach(publisher.handle, ValueInterner())
+        try:
+            assert set(attached.columnar) == set(reference)
+            for name, encoded in reference.items():
+                mirrored = attached.columnar[name]
+                assert mirrored.attributes == encoded.attributes
+                for ours, theirs in zip(encoded.columns, mirrored.columns):
+                    assert ours.tobytes() == theirs.tobytes()
+                assert (
+                    encoded.probabilities.tobytes()
+                    == mirrored.probabilities.tobytes()
+                )
+            # The decoded database is *the same* database.
+            decoded = attached.to_tid()
+            assert decoded.fingerprint() == db.fingerprint()
+            assert list(decoded.facts()) == list(db.facts())
+        finally:
+            attached.close()
+    finally:
+        publisher.unlink()
+
+
+@settings(max_examples=30, deadline=None)
+@given(db=tids())
+def test_interner_snapshot_round_trips_codes(db):
+    """load_snapshot reproduces every (value, code) pair exactly."""
+    source = ValueInterner()
+    for name in sorted(db.relations):
+        from_relation(db.relations[name], source)
+    mirror = ValueInterner()
+    mirror.load_snapshot(source.snapshot())
+    assert mirror.snapshot() == source.snapshot()
+    for code, value in enumerate(source.snapshot()):
+        assert mirror.code_of(value) == code
+
+
+def test_concurrent_interning_never_aliases():
+    """Racing encode_column calls never hand one code to two values."""
+    interner = ValueInterner()
+    values = [f"v{i}" for i in range(200)] + list(range(200))
+    rng = random.Random(7)
+    errors = []
+
+    def worker(seed: int) -> None:
+        shuffled = list(values)
+        random.Random(seed).shuffle(shuffled)
+        try:
+            interner.encode_column(shuffled)
+        except Exception as error:  # pragma: no cover - defensive
+            errors.append(error)
+
+    threads = [threading.Thread(target=worker, args=(rng.random(),)) for _ in range(8)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert not errors
+    snapshot = interner.snapshot()
+    assert len(snapshot) == len(set(values))
+    # Bijection: every value's code is unique and stable on re-encode.
+    assert len(set(snapshot)) == len(snapshot)
+    again = interner.encode_column(values)
+    assert [snapshot[c] for c in again] == values
+
+
+def test_snapshot_conflict_raises():
+    a = ValueInterner()
+    a.encode_column(["x", "y"])
+    b = ValueInterner()
+    b.encode_column(["y", "x"])  # same values, opposite codes
+    with pytest.raises(ValueError, match="conflict"):
+        b.load_snapshot(a.snapshot())
+    # Extending an agreeing prefix is fine.
+    c = ValueInterner()
+    c.encode_column(["x"])
+    c.load_snapshot(a.snapshot())
+    assert c.snapshot() == a.snapshot()
+
+
+def test_attached_shards_refuse_mutation():
+    publisher = publish(figure1_database(), ValueInterner())
+    try:
+        attached = attach(publisher.handle, ValueInterner())
+        try:
+            for encoded in attached.columnar.values():
+                if len(encoded) == 0:
+                    continue
+                with pytest.raises(ValueError, match="read-only"):
+                    encoded.probabilities[0] = 0.5
+                with pytest.raises(ValueError, match="read-only"):
+                    encoded.columns[0][0] = 99
+        finally:
+            attached.close()
+    finally:
+        publisher.unlink()
+
+
+def test_attach_after_unlink_fails():
+    publisher = publish(figure1_database(), ValueInterner())
+    handle = publisher.handle
+    publisher.unlink()
+    with pytest.raises(FileNotFoundError):
+        attach(handle, ValueInterner())
+
+
+def test_empty_relation_round_trips():
+    db = TupleIndependentDatabase()
+    db.add_relation("R", ("a0",))
+    publisher = publish(db, ValueInterner())
+    try:
+        attached = attach(publisher.handle, ValueInterner())
+        try:
+            assert len(attached.columnar["R"]) == 0
+            decoded = attached.to_tid()
+            assert decoded.fingerprint() == db.fingerprint()
+        finally:
+            attached.close()
+    finally:
+        publisher.unlink()
+
+
+def test_probability_bits_survive_exactly():
+    """No clamping/rounding on the wire: float64 bit patterns survive."""
+    db = TupleIndependentDatabase()
+    db.add_relation("R", ("a0",))
+    awkward = [0.1 + 0.2, 1e-300, 1.0 - 1e-16, 0.5000000000000001]
+    for i, p in enumerate(awkward):
+        db.set_fact("R", (i,), p)
+    publisher = publish(db, ValueInterner())
+    try:
+        attached = attach(publisher.handle, ValueInterner())
+        try:
+            decoded = attached.to_tid()
+            for (_, values, prob), p in zip(decoded.facts(), awkward):
+                assert prob == p  # exact equality, not approx
+        finally:
+            attached.close()
+    finally:
+        publisher.unlink()

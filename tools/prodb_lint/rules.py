@@ -155,6 +155,7 @@ class PL002UnguardedSharedMutation(Rule):
                 "src/repro/booleans/",
                 "src/repro/server/",
                 "src/repro/obs/",
+                "src/repro/relational/shm.py",
             )
         )
 

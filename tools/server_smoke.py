@@ -8,10 +8,15 @@ gracefully. Exits nonzero on any deviation.
 Run as::
 
     PYTHONPATH=src python tools/server_smoke.py
+
+Pass ``--workers N`` to smoke the multi-process mode instead: N worker
+processes attached to shared-memory shards, with per-worker liveness on
+``/healthz`` and ``server_worker_*`` gauges on ``/metrics``.
 """
 
 from __future__ import annotations
 
+import argparse
 import sys
 
 
@@ -21,6 +26,17 @@ def fail(message: str) -> None:
 
 
 def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        metavar="N",
+        help="smoke the multi-process mode with N worker processes",
+    )
+    args = parser.parse_args()
+    pooled = args.workers > 0
+
     from repro.engine.session import EngineSession
     from repro.server import ServerClient, ServerConfig, ServerThread, http_get
     from repro.workloads.generators import figure1_database
@@ -28,11 +44,16 @@ def main() -> None:
     session = EngineSession(figure1_database(), seed=7)
     # Use the process-default registry so the scrape also shows the engine
     # counters SessionStats publishes (the smoke runs in its own process).
-    config = ServerConfig(workers=2, default_epsilon=0.3, default_delta=0.1)
+    config = ServerConfig(
+        workers=args.workers if pooled else 2,
+        mode="processes" if pooled else "threads",
+        default_epsilon=0.3,
+        default_delta=0.1,
+    )
 
     with ServerThread(session, config) as server:
         host, port = server.host, server.port
-        print(f"server up on {host}:{port}")
+        print(f"server up on {host}:{port} (mode={config.mode})")
 
         with ServerClient(host, port) as client:
             # 1. Exact answer via the ladder.
@@ -73,15 +94,37 @@ def main() -> None:
         if '"status": "ok"' not in health:
             fail(f"unexpected /healthz body: {health!r}")
         metrics = http_get(host, port, "/metrics")
-        for needed in (
+        needed_metrics = [
             "server_requests_total",
             "server_answers_total",
             "server_request_seconds",
-            "engine_queries_total",
-        ):
+        ]
+        if pooled:
+            # In pool mode engine counters live in the workers and come back
+            # as merged server_workers_* gauges plus per-worker liveness.
+            needed_metrics += [
+                "server_workers_engine_queries_total",
+                "server_worker_0_alive",
+                f"server_worker_{args.workers - 1}_alive",
+                "server_worker_0_queue_depth",
+            ]
+        else:
+            needed_metrics.append("engine_queries_total")
+        for needed in needed_metrics:
             if needed not in metrics:
                 fail(f"/metrics missing {needed}:\n{metrics}")
         print(f"  /metrics exposes {len(metrics.splitlines())} lines")
+
+        if pooled:
+            import json
+
+            workers = json.loads(health).get("workers", [])
+            if len(workers) != args.workers:
+                fail(f"expected {args.workers} workers on /healthz: {health!r}")
+            for worker in workers:
+                if not worker.get("alive") or worker.get("pid", 0) <= 0:
+                    fail(f"worker not healthy: {worker}")
+            print(f"  {len(workers)} workers alive: {[w['pid'] for w in workers]}")
 
     print("server smoke OK (graceful shutdown)")
 

@@ -58,7 +58,13 @@ from ..core.pdb import (
 from ..booleans.kernel import clear_kernel_memos
 from ..core.tid import TupleIndependentDatabase
 from ..logic.terms import Var
-from ..sanitize import RANK_INFLIGHT, RankedLock, audit_kernel, sanitize_enabled
+from ..sanitize import (
+    RANK_INFLIGHT,
+    RankedLock,
+    audit_kernel,
+    audited_dict,
+    sanitize_enabled,
+)
 from .cache import LRUCache, lineage_fingerprint, query_fingerprint
 from .stats import QueryStats, SessionStats
 
@@ -114,7 +120,7 @@ class EngineSession:
         self.max_workers = max_workers
         self.cache = LRUCache(cache_size)
         self.stats = SessionStats()
-        self._inflight: dict[tuple, Future] = {}
+        self._inflight: dict[tuple, Future] = audited_dict("session.inflight")
         self._inflight_lock = RankedLock(RANK_INFLIGHT, "session.inflight")
 
     # -- convenience passthroughs ---------------------------------------------

@@ -43,9 +43,10 @@ clear error, so the row backend keeps working (see
 
 from __future__ import annotations
 
-import threading
 from dataclasses import dataclass
 from typing import Iterable, Optional, Sequence
+
+from ..sanitize import RANK_INTERNER, RankedLock
 
 try:  # pragma: no cover - numpy is a declared dependency
     import numpy as np
@@ -92,7 +93,7 @@ class ValueInterner:
 
     def __init__(self) -> None:
         self._codes: dict[object, int] = {}
-        self._lock = threading.Lock()
+        self._lock = RankedLock(RANK_INTERNER, "relational.interner")
 
     def __len__(self) -> int:
         return len(self._codes)

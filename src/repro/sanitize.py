@@ -25,10 +25,17 @@ What is audited when enabled:
   exactly the key its structure dictates, and the table holds no aliases;
 * **lock ordering** — the engine's locks carry ranks
   (:data:`RANK_WORKER_POOL` < :data:`RANK_SERVER` < :data:`RANK_INFLIGHT`
-  < :data:`RANK_CACHE` < :data:`RANK_STATS` < :data:`RANK_METRICS`) and a
+  < :data:`RANK_CACHE` < :data:`RANK_STATS` < :data:`RANK_INTERNER`
+  < :data:`RANK_METRICS`) and a
   :class:`RankedLock`
   refuses acquisition out of rank order, turning a potential deadlock into
-  an immediate :class:`LockOrderError`.
+  an immediate :class:`LockOrderError`;
+* **lockset race detection** — shared containers created through
+  :func:`audited_dict` carry an Eraser-style :class:`RaceDetector`: the
+  candidate lockset (locks held at every access once a second thread
+  appears) is intersected per access, and a write under an *empty*
+  candidate set raises :class:`DataRaceError` carrying the stack traces
+  of both conflicting accesses — no unlucky interleaving required.
 
 Failures raise :class:`SanitizerError` subclasses (which extend
 ``AssertionError``: a sanitizer failure is a broken internal invariant,
@@ -43,25 +50,30 @@ from __future__ import annotations
 
 import os
 import threading
-from typing import Any, Iterable, Optional
+import traceback
+from typing import Any, Dict, Iterable, Optional
 
 __all__ = [
     "BoundsOrderError",
     "CircuitInvariantError",
+    "DataRaceError",
     "KernelTableError",
     "LockOrderError",
     "OrderViolationError",
     "ProbabilityDomainError",
     "RANK_CACHE",
     "RANK_INFLIGHT",
+    "RANK_INTERNER",
     "RANK_METRICS",
     "RANK_SERVER",
     "RANK_STATS",
     "RANK_WORKER_POOL",
+    "RaceDetector",
     "RankedLock",
     "SanitizerError",
     "TOLERANCE",
     "audit_kernel",
+    "audited_dict",
     "check_bounds",
     "check_circuit",
     "check_obdd",
@@ -279,6 +291,12 @@ RANK_INFLIGHT = 10
 RANK_CACHE = 20
 #: Rank of :class:`repro.engine.stats.SessionStats`'s lock.
 RANK_STATS = 30
+#: Rank of :class:`repro.relational.columnar.ValueInterner`'s lock. The
+#: interner is a leaf: every method holds the lock only around its own
+#: dict operations and calls nothing, so any engine lock may legally wrap
+#: it — but it must never wrap the metrics lock (metrics publication
+#: never happens under the interner).
+RANK_INTERNER = 35
 #: Rank of :mod:`repro.obs` metric/registry locks. Highest rank: metrics
 #: are published from code already holding engine locks (e.g. stats
 #: aggregation), so the metrics lock must be acquirable last.
@@ -365,3 +383,173 @@ def assert_lock_order(ranks: Iterable[int]) -> None:
                 "ranks must strictly increase"
             )
         previous = rank
+
+
+# -- lockset race detection ---------------------------------------------------
+
+
+class DataRaceError(SanitizerError):
+    """Unsynchronized cross-thread access to an audited shared object."""
+
+
+#: Stack frames kept per recorded access (innermost last). Enough to see
+#: through the :class:`_AuditedDict` wrapper into the caller's call chain.
+_TRACE_DEPTH = 12
+
+
+def _access_trace() -> str:
+    frames = traceback.extract_stack()[:-3]  # drop detector internals
+    return "".join(traceback.format_list(frames[-_TRACE_DEPTH:]))
+
+
+class RaceDetector:
+    """Eraser-style lockset discipline checker for one shared object.
+
+    Call :meth:`record` on every access. The detector runs the classic
+    state machine — *virgin* → *exclusive* (single thread) → *shared*
+    (second thread reads) → *shared-modified* (second thread writes) —
+    and, once sharing starts, intersects the **candidate lockset**: the
+    set of locks (tracked by :class:`RankedLock` via the per-thread held
+    stack) common to every access so far. A write in *shared-modified*
+    state with an empty candidate set means no single lock consistently
+    guards the object; that is a data race by discipline, reported with
+    the stack traces of the current and the previous access even if this
+    particular interleaving happened to be benign.
+    """
+
+    __slots__ = ("name", "_state", "_owner", "_lockset", "_last", "_guard")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._state = "virgin"
+        self._owner: Optional[int] = None
+        self._lockset: Optional[frozenset] = None
+        self._last: Optional[tuple] = None  # (tid, verb, trace)
+        # A raw lock on purpose: detector bookkeeping must never appear in
+        # the rank order or the candidate locksets it is judging.
+        self._guard = threading.Lock()
+
+    def record(self, write: bool) -> None:
+        if not _enabled:
+            return
+        tid = threading.get_ident()
+        held = frozenset(id(lock) for _, lock in _held_stack())
+        verb = "write" if write else "read"
+        trace = _access_trace()
+        with self._guard:
+            previous = self._last
+            self._last = (tid, verb, trace)
+            if self._state == "virgin":
+                self._state = "exclusive"
+                self._owner = tid
+                return
+            if self._state == "exclusive":
+                if tid == self._owner:
+                    return
+                # Second thread: sharing starts; seed the candidate set.
+                self._lockset = held
+                self._state = "shared-modified" if write else "shared"
+            else:
+                assert self._lockset is not None
+                self._lockset = self._lockset & held
+                if write:
+                    self._state = "shared-modified"
+            if self._state == "shared-modified" and not self._lockset:
+                prev_text = (
+                    f"previous access ({previous[1]}) on thread "
+                    f"{previous[0]}:\n{previous[2]}"
+                    if previous is not None
+                    else "previous access: <unrecorded>"
+                )
+                raise DataRaceError(
+                    f"data race on {self.name!r}: no lock consistently "
+                    f"guards it across threads.\ncurrent access ({verb}) "
+                    f"on thread {tid}:\n{trace}\n{prev_text}"
+                )
+
+
+class _AuditedDict(dict):
+    """A dict whose every access feeds a :class:`RaceDetector`."""
+
+    __slots__ = ("races",)
+
+    def __init__(self, name: str):
+        super().__init__()
+        self.races = RaceDetector(name)
+
+    # reads
+    def __getitem__(self, key):
+        self.races.record(write=False)
+        return super().__getitem__(key)
+
+    def __contains__(self, key):
+        self.races.record(write=False)
+        return super().__contains__(key)
+
+    def __len__(self):
+        self.races.record(write=False)
+        return super().__len__()
+
+    def __iter__(self):
+        self.races.record(write=False)
+        return super().__iter__()
+
+    def get(self, key, default=None):
+        self.races.record(write=False)
+        return super().get(key, default)
+
+    def keys(self):
+        self.races.record(write=False)
+        return super().keys()
+
+    def values(self):
+        self.races.record(write=False)
+        return super().values()
+
+    def items(self):
+        self.races.record(write=False)
+        return super().items()
+
+    # writes
+    def __setitem__(self, key, value):
+        self.races.record(write=True)
+        super().__setitem__(key, value)
+
+    def __delitem__(self, key):
+        self.races.record(write=True)
+        super().__delitem__(key)
+
+    def pop(self, key, *default):
+        self.races.record(write=True)
+        return super().pop(key, *default)
+
+    def popitem(self):
+        self.races.record(write=True)
+        return super().popitem()
+
+    def setdefault(self, key, default=None):
+        self.races.record(write=True)
+        return super().setdefault(key, default)
+
+    def update(self, *args, **kwargs):
+        self.races.record(write=True)
+        super().update(*args, **kwargs)
+
+    def clear(self):
+        self.races.record(write=True)
+        super().clear()
+
+
+def audited_dict(name: str) -> Dict:
+    """A dict that, under the sanitizer, detects lockset discipline races.
+
+    With sanitizing off this returns a plain ``{}`` — zero overhead and
+    no behavioural difference. With it on, every access runs through a
+    :class:`RaceDetector` named *name*, so an unsynchronized cross-thread
+    access pattern raises :class:`DataRaceError` deterministically.
+    Holders must mutate in place (``d.clear()``, never ``d = {}``) or the
+    detector is silently dropped with the old dict.
+    """
+    if not _enabled:
+        return {}
+    return _AuditedDict(name)

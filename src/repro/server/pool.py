@@ -45,7 +45,7 @@ from typing import Any, Dict, List, Optional, Tuple
 from ..engine.cache import query_fingerprint
 from ..obs import MetricsRegistry, get_registry
 from ..relational.shm import DatabaseHandle, attach
-from ..sanitize import RANK_WORKER_POOL, RankedLock
+from ..sanitize import RANK_WORKER_POOL, RankedLock, audited_dict
 from .protocol import ErrorCode, ProtocolError, QueryRequest
 
 __all__ = ["WorkerOptions", "WorkerPool"]
@@ -288,7 +288,7 @@ class WorkerPool:
         self._start_timeout_s = start_timeout_s
         self._lock = RankedLock(RANK_WORKER_POOL, "server.pool")
         self._workers: List[_Worker] = []
-        self._pending: Dict[int, _Pending] = {}
+        self._pending: Dict[int, _Pending] = audited_dict("pool.pending")
         self._ring = _HashRing()
         self._seq = 0
         self._started = False
@@ -398,7 +398,9 @@ class WorkerPool:
             self._stopping = True
             workers = list(self._workers)
             orphans = list(self._pending.values())
-            self._pending = {}
+            # In place, not rebound: rebinding would drop the race detector
+            # attached by audited_dict().
+            self._pending.clear()
         for entry in orphans:
             if not entry.future.done():
                 entry.future.set_exception(

@@ -431,3 +431,55 @@ def test_real_tree_is_lint_clean():
         root=str(repo),
     )
     assert findings == []
+
+
+# -- the extended pragma grammar (shared with prodb-flow) ----------------------
+
+
+def test_rank_annotation_parsed():
+    pragmas = parse_pragmas(
+        "lock = threading.Lock()  # prodb-lint: rank=7 -- leaf, hand-audited\n"
+    )
+    assert pragmas.annotation("rank", 1, 1) == "7"
+    assert pragmas.justification(1) == "leaf, hand-audited"
+    assert pragmas.malformed == []
+
+
+def test_rank_annotation_requires_integer():
+    pragmas = parse_pragmas("x = 1  # prodb-lint: rank=high\n")
+    assert len(pragmas.malformed) == 1
+    line, _, detail = pragmas.malformed[0]
+    assert line == 1
+    assert "rank must be an integer" in detail
+    assert "'high'" in detail
+
+
+def test_loop_owned_annotation_parsed():
+    pragmas = parse_pragmas(
+        "self._writers = set()  # prodb-lint: loop-owned -- touched on loop\n"
+    )
+    assert pragmas.annotation("loop-owned", 1, 1) == "true"
+
+
+def test_unknown_annotation_key_names_offending_token():
+    pragmas = parse_pragmas("x = 1  # prodb-lint: lokfree\n")
+    assert len(pragmas.malformed) == 1
+    _, _, detail = pragmas.malformed[0]
+    assert "unknown annotation key 'lokfree'" in detail
+    assert "lockfree" in detail  # the known-keys list guides the fix
+
+
+def test_disable_accepts_pf_codes():
+    pragmas = parse_pragmas(
+        "x = 1  # prodb-lint: disable=PF102,PL003 -- fixture lock\n"
+    )
+    assert pragmas.is_disabled("PF102", 1, 1)
+    assert pragmas.is_disabled("PL003", 1, 1)
+    assert not pragmas.is_disabled("PF101", 1, 1)
+
+
+def test_disable_rejects_bad_code_with_token(tmp_path):
+    pragmas = parse_pragmas("x = 1  # prodb-lint: disable=PX999\n")
+    assert len(pragmas.malformed) == 1
+    _, _, detail = pragmas.malformed[0]
+    assert "PX999" in detail

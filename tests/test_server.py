@@ -332,10 +332,26 @@ def test_graceful_shutdown_completes_inflight_and_refuses_queued():
         socket.create_connection(("127.0.0.1", port), timeout=0.5).close()
 
 
+class _SlowLadder(MethodLadder):
+    """Holds every evaluation long enough that a 1 ms timeout always
+    fires first — the raw query occasionally finishes inside the timeout
+    once the process-wide kernel tables are warm, which made this test
+    flaky."""
+
+    def evaluate(self, *args, **kwargs):
+        time.sleep(0.25)
+        return super().evaluate(*args, **kwargs)
+
+
 def test_request_timeout_returns_timeout_error():
     session = EngineSession(full_tid(41, 5), seed=11)
     config = ServerConfig(workers=1, request_timeout_s=60.0)
-    with ServerThread(session, config, registry=MetricsRegistry()) as thread:
+    with ServerThread(
+        session,
+        config,
+        registry=MetricsRegistry(),
+        ladder=_SlowLadder(session),
+    ) as thread:
         with ServerClient("127.0.0.1", thread.port) as client:
             response = client.request(
                 {"query": "R(x), S(x,y), T(y)", "timeout_ms": 1}

@@ -1,0 +1,109 @@
+"""Command line front end: ``PYTHONPATH=tools python -m prodb_flow src``."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from . import RULES
+from .locks import LocksetPass
+from .loops import ConfinementPass
+from .model import build_program
+from .report import FlowFinding, write_lockgraph, write_sarif
+from .shmcheck import BoundaryPass
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="prodb-flow",
+        description=(
+            "whole-program concurrency analyzer: lockset rank-monotonicity, "
+            "event-loop confinement, shm/pickle boundary checks"
+        ),
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to analyze as one program (default: src)",
+    )
+    parser.add_argument(
+        "--select", action="append", default=None, metavar="CODES",
+        help="comma-separated rule codes to report (default: all)",
+    )
+    parser.add_argument(
+        "--root", default=None,
+        help="project root (default: walk up to pyproject.toml)",
+    )
+    parser.add_argument(
+        "--sarif", default=None, metavar="FILE",
+        help="also write findings as SARIF 2.1.0 to FILE ('-' for stdout)",
+    )
+    parser.add_argument(
+        "--emit-lockgraph", default=None, metavar="FILE",
+        help="write the observed lock-order graph as DOT to FILE",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalog and exit",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for code, text in sorted(RULES.items()):
+            print(f"{code}  {text}")
+        return 0
+
+    selected = None
+    if args.select:
+        selected = {
+            code.strip()
+            for spec in args.select
+            for code in spec.split(",")
+            if code.strip()
+        }
+        unknown = selected - set(RULES)
+        if unknown:
+            parser.error(f"unknown rule codes: {', '.join(sorted(unknown))}")
+
+    program = build_program(args.paths, root=args.root)
+
+    findings: list[FlowFinding] = []
+    lockset = LocksetPass(program)
+    findings.extend(lockset.run())
+    findings.extend(ConfinementPass(program).run())
+    findings.extend(BoundaryPass(program).run())
+    findings.extend(program.pragma_findings())
+    deduped = {(f.code, f.path, f.line, f.col, f.message): f for f in findings}
+    findings = sorted(
+        deduped.values(), key=lambda f: (f.path, f.line, f.col, f.code)
+    )
+    if selected is not None:
+        findings = [f for f in findings if f.code in selected]
+
+    if args.emit_lockgraph:
+        dot = write_lockgraph(lockset.lock_nodes, lockset.edges)
+        with open(args.emit_lockgraph, "w", encoding="utf-8") as handle:
+            handle.write(dot)
+
+    if args.sarif:
+        sarif = write_sarif(findings, RULES)
+        if args.sarif == "-":
+            sys.stdout.write(sarif)
+        else:
+            with open(args.sarif, "w", encoding="utf-8") as handle:
+                handle.write(sarif)
+
+    for finding in findings:
+        print(finding.render())
+    if findings:
+        print(
+            f"prodb-flow: {len(findings)} finding(s) in "
+            f"{len(program.modules)} module(s)",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

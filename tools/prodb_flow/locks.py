@@ -1,0 +1,376 @@
+"""Static lockset analysis: rank-monotonicity over every acquisition path.
+
+The pass interprets each function body in structured form — its CFG as
+the nesting of ``with`` / branches / loops, which is exact for the
+acquisition discipline this tree uses (locks are only ever held for the
+extent of a ``with`` block) — and carries the *lockset*: the ordered
+chain of acquisitions currently held, each tagged with its source
+location. At every call that resolves in the program model, the callee
+is re-interpreted under the caller's lockset, so a rank inversion hidden
+behind helper indirection is found with the full acquisition chain.
+
+Checks (creation-site rules first, then the path walk):
+
+* **PF102** — a raw ``threading`` primitive constructed inside the
+  ranked scope (``src/repro/{engine,server,obs,booleans,relational}``,
+  or anywhere in a non-repro tree that does not itself define
+  ``RankedLock``) without a ``# prodb-lint: rank=<N>`` annotation.
+* **PF104** — a ``RankedLock`` whose rank argument cannot be resolved
+  to an integer against the discovered ``RANK_*`` table: the rank proof
+  cannot cover it.
+* **PF101** — an acquisition whose rank does not strictly increase over
+  the top of the held chain. Equal-rank acquisition is allowed only
+  through a *may-alias* lock (the ``lock if lock is not None else
+  RankedLock(...)`` idiom of ``obs.metrics``, where the runtime object
+  is the caller's own reentrant lock); re-acquisition of the same
+  non-reentrant lock is reported as a self-deadlock.
+* **PF103** — an ``await`` while the lockset is non-empty: parking a
+  coroutine with a lock held stalls every other task that needs it.
+
+Every edge of every observed acquisition chain is also recorded for the
+``--emit-lockgraph`` DOT dump; a clean tree's graph is a DAG whose edges
+all point from lower to higher rank.
+
+Approximations, chosen to under- rather than over-report: bare
+``.acquire()`` calls are checked at the call site but not tracked as
+held (the tree uses ``with`` exclusively); unresolvable calls are not
+traversed; lock identity is per construction site.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Optional
+
+from .model import FunctionInfo, LockInfo, Program
+from .report import FlowFinding, LockEdge, Related
+
+#: Interprocedural depth cap — far above any real chain in this tree,
+#: it only bounds pathological fixture inputs.
+MAX_DEPTH = 40
+
+_RANKED_SCOPE_DIRS = {"engine", "server", "obs", "booleans", "relational"}
+
+
+@dataclass(frozen=True)
+class Acq:
+    """One held acquisition: the lock plus where it was taken."""
+
+    lock: LockInfo
+    relpath: str
+    line: int
+    fn: str  # qualname of the acquiring function
+
+
+def _chain_text(held: tuple[Acq, ...], new: Optional[Acq] = None) -> str:
+    steps = [
+        f"{acq.lock.name}({acq.lock.rank}) @ {acq.relpath}:{acq.line}"
+        for acq in (held + ((new,) if new is not None else ()))
+    ]
+    return " -> ".join(steps)
+
+
+class LocksetPass:
+    def __init__(self, program: Program) -> None:
+        self.program = program
+        self.findings: list[FlowFinding] = []
+        self.edges: list[LockEdge] = []
+        self.lock_nodes: dict[str, tuple[str, Optional[int]]] = {}
+        self._visited: set[tuple[str, tuple[str, ...]]] = set()
+        self._reported: set[tuple] = set()
+
+    # -- entry ----------------------------------------------------------------
+
+    def run(self) -> list[FlowFinding]:
+        self._creation_rules()
+        for fn in self.program.all_functions():
+            self._walk(fn, held=(), stack=())
+        return self.findings
+
+    def _emit(
+        self,
+        code: str,
+        module,
+        node_line: int,
+        col: int,
+        message: str,
+        related: tuple[Related, ...] = (),
+        last_line: Optional[int] = None,
+    ) -> None:
+        if module.pragmas.is_disabled(code, node_line, last_line):
+            return
+        self.findings.append(
+            FlowFinding(code, module.relpath, node_line, col, message, related)
+        )
+
+    # -- creation-site rules ---------------------------------------------------
+
+    def _all_locks(self):
+        for module in self.program.modules.values():
+            for lock in module.module_locks.values():
+                yield module, lock
+            for fn in module.functions.values():
+                for lock in fn.local_locks.values():
+                    yield module, lock
+            for cls in module.classes.values():
+                for lock in cls.attr_locks.values():
+                    yield module, lock
+                for fn in cls.methods.values():
+                    for lock in fn.local_locks.values():
+                        yield module, lock
+
+    def _creation_rules(self) -> None:
+        for module, lock in self._all_locks():
+            self.lock_nodes[lock.key] = (lock.name, lock.rank)
+            if lock.raw and lock.rank is None and self._pf102_scope(module):
+                self._emit(
+                    "PF102", module, lock.line, 0,
+                    f"raw threading lock {lock.key!r} escapes the rank "
+                    "system; use RankedLock(RANK_*, ...) or annotate the "
+                    "line with '# prodb-lint: rank=<N> -- why'",
+                )
+            if not lock.raw and lock.rank is None:
+                self._emit(
+                    "PF104", module, lock.line, 0,
+                    f"RankedLock {lock.key!r} has a rank that cannot be "
+                    "resolved statically; use a RANK_* constant or an "
+                    "integer literal so the rank proof can cover it",
+                )
+
+    def _pf102_scope(self, module) -> bool:
+        if any(
+            isinstance(node, ast.ClassDef) and node.name == "RankedLock"
+            for node in module.tree.body
+        ):
+            return False  # the lock library itself wraps a raw primitive
+        parts = module.relpath.split("/")
+        if parts[0] == "src":
+            return (
+                len(parts) > 3
+                and parts[1] == "repro"
+                and parts[2] in _RANKED_SCOPE_DIRS
+            )
+        return True
+
+    # -- the path walk ---------------------------------------------------------
+
+    def _walk(
+        self, fn: FunctionInfo, held: tuple[Acq, ...], stack: tuple[str, ...]
+    ) -> None:
+        if len(stack) > MAX_DEPTH or fn.qualname in stack:
+            return
+        key = (fn.qualname, tuple(acq.lock.key for acq in held))
+        if key in self._visited:
+            return
+        self._visited.add(key)
+        node = fn.node
+        assert isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        self._exec_body(node.body, fn, held, stack + (fn.qualname,))
+
+    def _exec_body(
+        self,
+        stmts: list[ast.stmt],
+        fn: FunctionInfo,
+        held: tuple[Acq, ...],
+        stack: tuple[str, ...],
+    ) -> None:
+        for stmt in stmts:
+            self._exec(stmt, fn, held, stack)
+
+    def _exec(
+        self,
+        stmt: ast.stmt,
+        fn: FunctionInfo,
+        held: tuple[Acq, ...],
+        stack: tuple[str, ...],
+    ) -> None:
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            current = held
+            for item in stmt.items:
+                self._visit_expr(item.context_expr, fn, current, stack)
+                lock = self._lock_of_expr(item.context_expr, fn)
+                if lock is not None:
+                    acq = Acq(
+                        lock, fn.module.relpath, item.context_expr.lineno,
+                        fn.qualname,
+                    )
+                    self._check_acquire(acq, fn, current)
+                    current = current + (acq,)
+            self._exec_body(stmt.body, fn, current, stack)
+        elif isinstance(stmt, ast.If):
+            self._visit_expr(stmt.test, fn, held, stack)
+            self._exec_body(stmt.body, fn, held, stack)
+            self._exec_body(stmt.orelse, fn, held, stack)
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            self._visit_expr(stmt.iter, fn, held, stack)
+            self._exec_body(stmt.body, fn, held, stack)
+            self._exec_body(stmt.orelse, fn, held, stack)
+        elif isinstance(stmt, ast.While):
+            self._visit_expr(stmt.test, fn, held, stack)
+            self._exec_body(stmt.body, fn, held, stack)
+            self._exec_body(stmt.orelse, fn, held, stack)
+        elif isinstance(stmt, ast.Try):
+            self._exec_body(stmt.body, fn, held, stack)
+            for handler in stmt.handlers:
+                self._exec_body(handler.body, fn, held, stack)
+            self._exec_body(stmt.orelse, fn, held, stack)
+            self._exec_body(stmt.finalbody, fn, held, stack)
+        elif isinstance(
+            stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            return  # nested defs execute later, not here
+        else:
+            for child in ast.iter_child_nodes(stmt):
+                if isinstance(child, ast.expr):
+                    self._visit_expr(child, fn, held, stack)
+
+    def _visit_expr(
+        self,
+        expr: ast.expr,
+        fn: FunctionInfo,
+        held: tuple[Acq, ...],
+        stack: tuple[str, ...],
+    ) -> None:
+        for node in ast.walk(expr):
+            if isinstance(node, ast.Await) and held:
+                top = held[-1]
+                key = ("PF103", fn.module.relpath, node.lineno)
+                if key not in self._reported:
+                    self._reported.add(key)
+                    self._emit(
+                        "PF103", fn.module, node.lineno, node.col_offset,
+                        f"await while holding lock {top.lock.name!r} "
+                        f"(rank {top.lock.rank}) acquired at "
+                        f"{top.relpath}:{top.line}; a parked coroutine must "
+                        "not hold engine locks",
+                        related=(
+                            Related(top.relpath, top.line, "lock acquired here"),
+                        ),
+                    )
+            elif isinstance(node, ast.Call):
+                self._visit_call(node, fn, held, stack)
+            elif isinstance(node, ast.Attribute) and isinstance(
+                node.ctx, ast.Load
+            ):
+                self._visit_property(node, fn, held, stack)
+
+    def _visit_call(
+        self,
+        call: ast.Call,
+        fn: FunctionInfo,
+        held: tuple[Acq, ...],
+        stack: tuple[str, ...],
+    ) -> None:
+        func = call.func
+        if isinstance(func, ast.Attribute) and func.attr in (
+            "acquire", "release",
+        ):
+            lock = self._lock_of_expr(func.value, fn)
+            if lock is not None:
+                if func.attr == "acquire":
+                    acq = Acq(lock, fn.module.relpath, call.lineno, fn.qualname)
+                    self._check_acquire(acq, fn, held)
+                return
+        callee = self.program.resolve_call(call, fn)
+        if callee is not None and not callee.is_property:
+            self._walk(callee, held, stack)
+
+    def _visit_property(
+        self,
+        node: ast.Attribute,
+        fn: FunctionInfo,
+        held: tuple[Acq, ...],
+        stack: tuple[str, ...],
+    ) -> None:
+        cls = None
+        if isinstance(node.value, ast.Name) and node.value.id == "self":
+            cls = fn.cls
+        else:
+            cls = self.program.resolve_class(
+                self.program.infer_type(node.value, fn)
+            )
+        if cls is None:
+            return
+        method = self.program.lookup_method(cls, node.attr)
+        if method is not None and method.is_property:
+            self._walk(method, held, stack)
+
+    def _lock_of_expr(
+        self, expr: ast.expr, fn: FunctionInfo
+    ) -> Optional[LockInfo]:
+        if isinstance(expr, ast.Name):
+            if expr.id in fn.local_locks:
+                return fn.local_locks[expr.id]
+            return fn.module.module_locks.get(expr.id)
+        if isinstance(expr, ast.Attribute):
+            if (
+                isinstance(expr.value, ast.Name)
+                and expr.value.id == "self"
+                and fn.cls is not None
+            ):
+                return self.program.lookup_attr_lock(fn.cls, expr.attr)
+            cls = self.program.resolve_class(
+                self.program.infer_type(expr.value, fn)
+            )
+            if cls is not None:
+                return self.program.lookup_attr_lock(cls, expr.attr)
+        return None
+
+    # -- acquisition checking --------------------------------------------------
+
+    def _check_acquire(
+        self, acq: Acq, fn: FunctionInfo, held: tuple[Acq, ...]
+    ) -> None:
+        lock = acq.lock
+        self.lock_nodes.setdefault(lock.key, (lock.name, lock.rank))
+        if not held:
+            return
+        top = held[-1]
+        violation = False
+        message = ""
+        if any(prev.lock.key == lock.key for prev in held):
+            if not lock.reentrant:
+                violation = True
+                message = (
+                    f"re-acquisition of non-reentrant lock {lock.name!r} "
+                    f"(rank {lock.rank}) already held — self-deadlock"
+                )
+        elif top.lock.rank is not None and lock.rank is not None:
+            if lock.rank < top.lock.rank:
+                violation = True
+            elif lock.rank == top.lock.rank and not (
+                lock.may_alias or top.lock.may_alias
+            ):
+                violation = True
+            if violation:
+                message = (
+                    f"lock-order inversion: acquiring {lock.name!r} "
+                    f"(rank {lock.rank}) while holding {top.lock.name!r} "
+                    f"(rank {top.lock.rank}) acquired at "
+                    f"{top.relpath}:{top.line}; ranks must strictly "
+                    f"increase; chain: {_chain_text(held, acq)}"
+                )
+        self.edges.append(
+            LockEdge(
+                top.lock.key, lock.key, acq.relpath, acq.line,
+                violation=violation,
+            )
+        )
+        if not violation:
+            return
+        dedupe = ("PF101", acq.relpath, acq.line, lock.key, top.lock.key)
+        if dedupe in self._reported:
+            return
+        self._reported.add(dedupe)
+        related = tuple(
+            Related(
+                prev.relpath, prev.line,
+                f"holds {prev.lock.name!r} (rank {prev.lock.rank}), "
+                f"acquired in {prev.fn}",
+            )
+            for prev in held
+        )
+        self._emit(
+            "PF101", fn.module, acq.line, 0, message, related=related,
+        )

@@ -1,0 +1,383 @@
+"""Event-loop confinement: a real taint pass replacing PL002's syntax check.
+
+Two dataflow computations, then a check:
+
+1. **Loop-owned state.** A class attribute is loop-owned when its
+   declaration carries ``# prodb-lint: loop-owned``, or when its type
+   annotation references ``asyncio.StreamWriter`` / ``Task`` / ``Future``
+   / ``StreamReader`` — directly, inside a container
+   (``Set[asyncio.StreamWriter]``), or through one level of class
+   indirection (``Dict[tuple, _Inflight]`` where ``_Inflight`` holds an
+   ``asyncio.Future`` field). Annotation roots are resolved through the
+   import map, so ``concurrent.futures.Future`` (the worker pool's
+   pending table) is *not* tainted while ``asyncio.Future`` is.
+
+2. **Execution contexts.** Every function gets a set of contexts it can
+   run in, propagated to a fixpoint over the call graph from seeds:
+   ``async def`` bodies and callbacks registered via ``call_soon*`` /
+   ``add_done_callback`` / ``run_until_complete`` /
+   ``run_coroutine_threadsafe`` run in **loop** context; ``Thread``
+   targets and callables handed to ``Executor.submit`` /
+   ``loop.run_in_executor`` run in **thread** context. A plain call
+   propagates the caller's contexts into the callee; registration
+   arguments get the context of where the runtime will *invoke* them,
+   not where they are registered — which is exactly the distinction the
+   syntactic PL002 cannot make.
+
+The check: a touch of loop-owned state inside a function that can run in
+thread context is **PF201**, unless the touching expression is an
+argument of ``call_soon_threadsafe`` / ``run_coroutine_threadsafe`` (the
+sanctioned cross-thread routes). Passing a loop-owned object *into* a
+thread entry point (``Thread(args=...)``, ``submit``,
+``run_in_executor``) is **PF202**. ``__init__``/``__post_init__`` are
+exempt: construction happens before the object is shared.
+
+Functions never reached from any seed have no context and are not
+flagged — a public sync API callable from anywhere is the dynamic race
+detector's territory (``repro.sanitize``), not this pass's.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Optional
+
+from .model import LOOP_OWNED_TYPES, ClassInfo, FunctionInfo, Program
+from .report import FlowFinding, Related
+
+LOOP = "loop"
+THREAD = "thread"
+
+#: Receiver methods whose callable argument runs on the event loop.
+_LOOP_REGISTRARS = {
+    "add_done_callback": 0,
+    "call_soon": 0,
+    "call_soon_threadsafe": 0,
+    "call_later": 1,
+    "call_at": 1,
+}
+
+#: The sanctioned thread→loop routing calls (PF201 exemption).
+_THREADSAFE_ROUTES = {"call_soon_threadsafe", "run_coroutine_threadsafe"}
+
+_CONSTRUCTORS = {"__init__", "__post_init__", "__new__"}
+
+
+class ConfinementPass:
+    def __init__(self, program: Program) -> None:
+        self.program = program
+        self.findings: list[FlowFinding] = []
+        #: qualname -> {context: (reason, relpath, line)}
+        self.contexts: dict[str, dict[str, tuple[str, str, int]]] = {}
+        self._reported: set[tuple] = set()
+
+    def run(self) -> list[FlowFinding]:
+        self._taint_classes()
+        self._compute_contexts()
+        for fn in self.program.all_functions():
+            ctx = self.contexts.get(fn.qualname, {})
+            if THREAD in ctx and fn.name not in _CONSTRUCTORS:
+                self._check_touches(fn, ctx[THREAD])
+            self._check_handoffs(fn)
+        return self.findings
+
+    # -- loop-owned attribute taint -------------------------------------------
+
+    def _annotation_is_loop_owned(
+        self, annotation: Optional[ast.expr], cls: ClassInfo, deep: bool
+    ) -> bool:
+        for ref in self.program.annotation_refs(annotation, cls.module):
+            if ref in LOOP_OWNED_TYPES:
+                return True
+            if deep:
+                inner = self.program.resolve_class(ref)
+                if inner is not None and self._class_is_loop_bound(inner):
+                    return True
+        return False
+
+    def _class_is_loop_bound(self, cls: ClassInfo) -> bool:
+        return any(
+            self._annotation_is_loop_owned(ann, cls, deep=False)
+            for ann in cls.attr_annotations.values()
+        )
+
+    def _taint_classes(self) -> None:
+        for cls in self.program.classes.values():
+            for attr, annotation in cls.attr_annotations.items():
+                if attr in cls.loop_owned:
+                    continue  # pragma already recorded the reason
+                if self._annotation_is_loop_owned(annotation, cls, deep=True):
+                    line = getattr(annotation, "lineno", cls.node.lineno)
+                    cls.loop_owned[attr] = (
+                        f"typed loop-owned at {cls.module.relpath}:{line}"
+                    )
+
+    def _loop_owned_reason(
+        self, cls: Optional[ClassInfo], attr: str
+    ) -> Optional[str]:
+        if cls is None:
+            return None
+        for klass in self.program.mro(cls):
+            if attr in klass.loop_owned:
+                return klass.loop_owned[attr]
+        return None
+
+    # -- context propagation ----------------------------------------------------
+
+    def _add_context(
+        self,
+        fn: Optional[FunctionInfo],
+        ctx: str,
+        reason: tuple[str, str, int],
+        worklist: list[FunctionInfo],
+    ) -> None:
+        if fn is None:
+            return
+        slot = self.contexts.setdefault(fn.qualname, {})
+        if ctx not in slot:
+            slot[ctx] = reason
+            worklist.append(fn)
+
+    def _callable_targets(
+        self, expr: ast.expr, fn: FunctionInfo
+    ) -> list[FunctionInfo]:
+        """Functions a callable-valued expression may denote."""
+        if isinstance(expr, ast.Lambda):
+            out = []
+            for node in ast.walk(expr.body):
+                if isinstance(node, ast.Call):
+                    resolved = self.program.resolve_call(node, fn)
+                    if resolved is not None:
+                        out.append(resolved)
+            return out
+        if isinstance(expr, ast.Call):
+            # ``run_until_complete(self.server.start())``: the coroutine
+            # *call* is the thing the loop will drive.
+            resolved = self.program.resolve_call(expr, fn)
+            return [resolved] if resolved is not None else []
+        resolved = self.program.resolve_callable(expr, fn)
+        return [resolved] if resolved is not None else []
+
+    def _registration_seeds(
+        self, fn: FunctionInfo, worklist: list[FunctionInfo]
+    ) -> None:
+        module = fn.module
+        for node in ast.walk(fn.node):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            attr = func.attr if isinstance(func, ast.Attribute) else None
+            name = func.id if isinstance(func, ast.Name) else None
+            where = (module.relpath, node.lineno)
+            if attr in _LOOP_REGISTRARS or name in _LOOP_REGISTRARS:
+                index = _LOOP_REGISTRARS[attr or name or ""]
+                if len(node.args) > index:
+                    for target in self._callable_targets(node.args[index], fn):
+                        self._add_context(
+                            target, LOOP,
+                            (f"loop callback registered via {attr or name}",)
+                            + where,
+                            worklist,
+                        )
+            elif attr in ("run_until_complete", "run_coroutine_threadsafe") or (
+                name == "run_coroutine_threadsafe"
+            ):
+                if node.args:
+                    for target in self._callable_targets(node.args[0], fn):
+                        self._add_context(
+                            target, LOOP,
+                            ("coroutine driven on the event loop",) + where,
+                            worklist,
+                        )
+            elif attr == "run_in_executor":
+                if len(node.args) > 1:
+                    for target in self._callable_targets(node.args[1], fn):
+                        self._add_context(
+                            target, THREAD,
+                            ("executor target via run_in_executor",) + where,
+                            worklist,
+                        )
+            elif attr == "submit":
+                receiver = self.program.infer_type(func.value, fn) or ""
+                if receiver.split(".")[-1].endswith("Executor") and node.args:
+                    for target in self._callable_targets(node.args[0], fn):
+                        self._add_context(
+                            target, THREAD,
+                            ("executor target via submit",) + where,
+                            worklist,
+                        )
+            else:
+                dotted = self.program.canonical(
+                    self.program._dotted_of(func, module)
+                )
+                if dotted == "threading.Thread":
+                    for kw in node.keywords:
+                        if kw.arg == "target":
+                            for target in self._callable_targets(kw.value, fn):
+                                self._add_context(
+                                    target, THREAD,
+                                    ("Thread target",) + where,
+                                    worklist,
+                                )
+
+    def _compute_contexts(self) -> None:
+        worklist: list[FunctionInfo] = []
+        for fn in self.program.all_functions():
+            if fn.is_async:
+                line = getattr(fn.node, "lineno", 1)
+                self._add_context(
+                    fn, LOOP,
+                    ("async def runs on the event loop", fn.module.relpath, line),
+                    worklist,
+                )
+            self._registration_seeds(fn, worklist)
+        while worklist:
+            fn = worklist.pop()
+            ctx = dict(self.contexts.get(fn.qualname, {}))
+            if not ctx:
+                continue
+            overrides = self._override_calls(fn)
+            for node in ast.walk(fn.node):
+                if not isinstance(node, ast.Call) or id(node) in overrides:
+                    continue
+                callee = self.program.resolve_call(node, fn)
+                if callee is None:
+                    continue
+                for kind, reason in ctx.items():
+                    self._add_context(callee, kind, reason, worklist)
+
+    def _override_calls(self, fn: FunctionInfo) -> set[int]:
+        """Call nodes that are *registration arguments*, not executions."""
+        out: set[int] = set()
+        for node in ast.walk(fn.node):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            attr = func.attr if isinstance(func, ast.Attribute) else None
+            name = func.id if isinstance(func, ast.Name) else None
+            if (
+                attr in ("run_until_complete", "run_coroutine_threadsafe")
+                or name == "run_coroutine_threadsafe"
+            ) and node.args:
+                for sub in ast.walk(node.args[0]):
+                    if isinstance(sub, ast.Call):
+                        out.add(id(sub))
+        return out
+
+    # -- checks -----------------------------------------------------------------
+
+    def _owner_class(
+        self, node: ast.Attribute, fn: FunctionInfo
+    ) -> Optional[ClassInfo]:
+        if isinstance(node.value, ast.Name) and node.value.id == "self":
+            return fn.cls
+        return self.program.resolve_class(
+            self.program.infer_type(node.value, fn)
+        )
+
+    def _is_routed(self, node: ast.AST, fn: FunctionInfo) -> bool:
+        parents = self.program.parents_of(fn.module)
+        current: Optional[ast.AST] = node
+        while current is not None:
+            if isinstance(current, ast.Call):
+                func = current.func
+                attr = func.attr if isinstance(func, ast.Attribute) else None
+                name = func.id if isinstance(func, ast.Name) else None
+                if attr in _THREADSAFE_ROUTES or name in _THREADSAFE_ROUTES:
+                    return True
+            current = parents.get(current)
+        return False
+
+    def _check_touches(
+        self, fn: FunctionInfo, provenance: tuple[str, str, int]
+    ) -> None:
+        module = fn.module
+        reason, witness_path, witness_line = provenance
+        for node in ast.walk(fn.node):
+            if not isinstance(node, ast.Attribute):
+                continue
+            owner = self._owner_class(node, fn)
+            why = self._loop_owned_reason(owner, node.attr)
+            if why is None:
+                continue
+            if self._is_routed(node, fn):
+                continue
+            dedupe = ("PF201", module.relpath, node.lineno, node.attr)
+            if dedupe in self._reported:
+                continue
+            self._reported.add(dedupe)
+            if module.pragmas.is_disabled(
+                "PF201", node.lineno, getattr(node, "end_lineno", None)
+            ):
+                continue
+            assert owner is not None
+            self.findings.append(
+                FlowFinding(
+                    "PF201", module.relpath, node.lineno, node.col_offset,
+                    f"loop-owned state {owner.qualname.rsplit('.', 1)[-1]}."
+                    f"{node.attr} ({why}) touched from thread context "
+                    f"({reason}); route through call_soon_threadsafe or "
+                    "run_coroutine_threadsafe",
+                    related=(
+                        Related(
+                            witness_path, witness_line,
+                            f"thread context enters here: {reason}",
+                        ),
+                    ),
+                )
+            )
+
+    def _check_handoffs(self, fn: FunctionInfo) -> None:
+        """PF202: loop-owned values passed into thread entry points."""
+        module = fn.module
+        for node in ast.walk(fn.node):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            attr = func.attr if isinstance(func, ast.Attribute) else None
+            payload: list[ast.expr] = []
+            entry = None
+            if attr == "run_in_executor" and len(node.args) > 2:
+                payload = list(node.args[2:])
+                entry = "run_in_executor"
+            elif attr == "submit" and len(node.args) > 1:
+                receiver = self.program.infer_type(func.value, fn) or ""
+                if receiver.split(".")[-1].endswith("Executor"):
+                    payload = list(node.args[1:])
+                    entry = "submit"
+            else:
+                dotted = self.program.canonical(
+                    self.program._dotted_of(func, module)
+                )
+                if dotted == "threading.Thread":
+                    for kw in node.keywords:
+                        if kw.arg == "args" and isinstance(
+                            kw.value, (ast.Tuple, ast.List)
+                        ):
+                            payload = list(kw.value.elts)
+                            entry = "Thread(args=...)"
+            for arg in payload:
+                for sub in ast.walk(arg):
+                    if not isinstance(sub, ast.Attribute):
+                        continue
+                    owner = self._owner_class(sub, fn)
+                    why = self._loop_owned_reason(owner, sub.attr)
+                    if why is None:
+                        continue
+                    if module.pragmas.is_disabled(
+                        "PF202", sub.lineno, getattr(sub, "end_lineno", None)
+                    ):
+                        continue
+                    dedupe = ("PF202", module.relpath, sub.lineno, sub.attr)
+                    if dedupe in self._reported:
+                        continue
+                    self._reported.add(dedupe)
+                    self.findings.append(
+                        FlowFinding(
+                            "PF202", module.relpath, sub.lineno,
+                            sub.col_offset,
+                            f"loop-owned object {sub.attr!r} ({why}) passed "
+                            f"into a thread entry point ({entry}); threads "
+                            "must not receive loop-confined state",
+                        )
+                    )

@@ -1,0 +1,712 @@
+"""The whole-program model: modules, classes, call graph, locks, types.
+
+Everything the verification passes consume is computed here, once:
+
+* **modules** — every ``*.py`` under the scanned roots, parsed, with its
+  import map (``alias -> dotted target``, relative imports resolved) and
+  pragmas;
+* **classes/functions** — qualified by dotted module name, with base
+  classes resolved inside the program, ``@property`` getters marked, and
+  per-class attribute types collected from ``self.x = ...`` assignments
+  and annotations;
+* **locks** — every ``RankedLock(...)`` and raw ``threading`` primitive
+  construction site, with the rank argument resolved against the
+  ``RANK_* = <int>`` constants found anywhere in the program (so the
+  table in ``repro.sanitize`` is discovered, not hard-coded, and fixture
+  projects can declare their own ranks). The
+  ``lock if lock is not None else RankedLock(...)`` idiom (a lock that
+  *may alias* a caller-supplied one, as in ``obs.metrics``) is modelled
+  with ``may_alias=True`` — equal-rank re-acquisition through an alias
+  is legal because at runtime it is the same reentrant object;
+* **call resolution** — a call is resolved only when its receiver's type
+  is statically known (``self``, annotated parameters, locals assigned
+  from constructor calls or calls with annotated returns, attributes
+  recorded on a known class). Unresolvable calls are skipped: the
+  analyzer under-approximates the call graph and never guesses by
+  method-name matching, so every edge it does traverse is real.
+
+The model is deliberately flow-insensitive about types and flow-
+*sensitive* about locksets (the passes re-interpret function bodies);
+that split keeps the whole analysis a few hundred milliseconds on this
+tree while still proving the properties the issue names.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field as dc_field
+from pathlib import Path
+from typing import Iterator, Optional
+
+from prodb_lint.engine import discover_files, find_project_root
+from prodb_lint.pragmas import Pragmas, parse_pragmas
+
+from .report import FlowFinding
+
+#: threading primitives that count as raw locks for PF102.
+RAW_LOCK_NAMES = {"Lock", "RLock", "Condition", "Semaphore", "BoundedSemaphore"}
+
+#: Dotted types whose instances are owned by the event loop.
+LOOP_OWNED_TYPES = {
+    "asyncio.Future",
+    "asyncio.Task",
+    "asyncio.StreamWriter",
+    "asyncio.StreamReader",
+}
+
+
+@dataclass
+class LockInfo:
+    """One lock construction site."""
+
+    key: str  # stable identity, e.g. "repro.engine.cache.LRUCache._lock"
+    name: str  # display name (RankedLock's name argument, or the key)
+    rank: Optional[int]
+    reentrant: bool
+    may_alias: bool  # ``lock if lock is not None else RankedLock(...)``
+    raw: bool  # bare threading primitive (no rank system)
+    pragma_rank: bool  # rank came from a ``# prodb-lint: rank=N`` pragma
+    relpath: str
+    line: int
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method, addressable by dotted qualname."""
+
+    qualname: str  # "module.func" or "module.Class.method"
+    module: "ModuleInfo"
+    node: ast.AST  # FunctionDef | AsyncFunctionDef
+    cls: Optional["ClassInfo"]
+    is_async: bool
+    is_property: bool
+    #: function-local lock variables: name -> LockInfo
+    local_locks: dict[str, LockInfo] = dc_field(default_factory=dict)
+
+    @property
+    def name(self) -> str:
+        return self.qualname.rsplit(".", 1)[1]
+
+
+@dataclass
+class ClassInfo:
+    qualname: str
+    module: "ModuleInfo"
+    node: ast.ClassDef
+    methods: dict[str, FunctionInfo] = dc_field(default_factory=dict)
+    bases: list[str] = dc_field(default_factory=list)  # dotted, best effort
+    #: attribute -> annotation AST (from AnnAssign, incl. dataclass fields)
+    attr_annotations: dict[str, ast.expr] = dc_field(default_factory=dict)
+    #: attribute -> (value expr, defining method) from ``self.x = ...``
+    attr_exprs: dict[str, tuple[ast.expr, FunctionInfo]] = dc_field(
+        default_factory=dict
+    )
+    attr_locks: dict[str, LockInfo] = dc_field(default_factory=dict)
+    #: attributes confined to the event loop (pragma or type taint)
+    loop_owned: dict[str, str] = dc_field(default_factory=dict)  # attr -> why
+
+
+@dataclass
+class ModuleInfo:
+    name: str  # dotted
+    path: Path
+    relpath: str
+    tree: ast.Module
+    source: str
+    pragmas: Pragmas
+    imports: dict[str, str] = dc_field(default_factory=dict)
+    functions: dict[str, FunctionInfo] = dc_field(default_factory=dict)
+    classes: dict[str, ClassInfo] = dc_field(default_factory=dict)
+    module_locks: dict[str, LockInfo] = dc_field(default_factory=dict)
+    constants: dict[str, int] = dc_field(default_factory=dict)  # RANK_*
+
+
+def _module_name(relpath: str) -> str:
+    parts = Path(relpath).with_suffix("").parts
+    if parts and parts[0] == "src":
+        parts = parts[1:]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts) or "__root__"
+
+
+class Program:
+    """The analyzed program; shared by all passes."""
+
+    def __init__(self, root: Path) -> None:
+        self.root = root
+        self.modules: dict[str, ModuleInfo] = {}
+        self.functions: dict[str, FunctionInfo] = {}
+        self.classes: dict[str, ClassInfo] = {}
+        self.ranks: dict[str, int] = {}
+        self._parents: dict[str, dict[ast.AST, ast.AST]] = {}
+        self._infer_guard: set[tuple[str, str]] = set()
+
+    # -- construction ---------------------------------------------------------
+
+    def add_module(self, path: Path, source: str, tree: ast.Module) -> ModuleInfo:
+        try:
+            relpath = path.resolve().relative_to(self.root).as_posix()
+        except ValueError:
+            relpath = path.as_posix()
+        module = ModuleInfo(
+            name=_module_name(relpath),
+            path=path,
+            relpath=relpath,
+            tree=tree,
+            source=source,
+            pragmas=parse_pragmas(source),
+        )
+        self.modules[module.name] = module
+        self._collect_imports(module)
+        self._collect_constants(module)
+        self._collect_defs(module)
+        return module
+
+    def finalize(self) -> None:
+        """Second phase, after every module is registered: locks + attrs."""
+        for module in self.modules.values():
+            for node in module.tree.body:
+                if (
+                    isinstance(node, ast.Assign)
+                    and len(node.targets) == 1
+                    and isinstance(node.targets[0], ast.Name)
+                ):
+                    lock = self._lock_from_value(
+                        node.value, module,
+                        f"{module.name}.{node.targets[0].id}",
+                    )
+                    if lock is not None:
+                        module.module_locks[node.targets[0].id] = lock
+            for fn in module.functions.values():
+                self._collect_assignments(fn)
+            for cls in module.classes.values():
+                self._collect_class_body(cls)
+                for fn in cls.methods.values():
+                    self._collect_assignments(fn)
+
+    def _collect_imports(self, module: ModuleInfo) -> None:
+        # Function-local imports are folded into the module map: names are
+        # unique enough in practice and this keeps resolution one lookup.
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    module.imports[alias.asname or alias.name.split(".")[0]] = (
+                        alias.name if alias.asname else alias.name.split(".")[0]
+                    )
+                    if alias.asname:
+                        module.imports[alias.asname] = alias.name
+            elif isinstance(node, ast.ImportFrom):
+                target = self._resolve_import_from(module, node)
+                if target is None:
+                    continue
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    module.imports[alias.asname or alias.name] = (
+                        f"{target}.{alias.name}"
+                    )
+
+    def _resolve_import_from(
+        self, module: ModuleInfo, node: ast.ImportFrom
+    ) -> Optional[str]:
+        if node.level == 0:
+            return node.module
+        base = module.name.split(".")
+        is_package = module.relpath.endswith("__init__.py")
+        drop = node.level if not is_package else node.level - 1
+        if drop >= len(base) + 1:
+            return node.module
+        base = base[: len(base) - drop] if drop else base
+        if node.module:
+            base = base + node.module.split(".")
+        return ".".join(base)
+
+    def _collect_constants(self, module: ModuleInfo) -> None:
+        for node in module.tree.body:
+            if (
+                isinstance(node, ast.Assign)
+                and len(node.targets) == 1
+                and isinstance(node.targets[0], ast.Name)
+                and isinstance(node.value, ast.Constant)
+                and isinstance(node.value.value, int)
+                and not isinstance(node.value.value, bool)
+            ):
+                name = node.targets[0].id
+                module.constants[name] = node.value.value
+                if name.startswith("RANK_"):
+                    self.ranks.setdefault(name, node.value.value)
+
+    def _collect_defs(self, module: ModuleInfo) -> None:
+        for node in module.tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                fn = self._make_function(module, node, None)
+                module.functions[node.name] = fn
+                self.functions[fn.qualname] = fn
+            elif isinstance(node, ast.ClassDef):
+                cls = ClassInfo(
+                    qualname=f"{module.name}.{node.name}",
+                    module=module,
+                    node=node,
+                    bases=[
+                        dotted
+                        for base in node.bases
+                        if (dotted := self._dotted_of(base, module)) is not None
+                    ],
+                )
+                module.classes[node.name] = cls
+                self.classes[cls.qualname] = cls
+                for item in node.body:
+                    if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        fn = self._make_function(module, item, cls)
+                        cls.methods[item.name] = fn
+                        self.functions[fn.qualname] = fn
+
+    def _make_function(
+        self,
+        module: ModuleInfo,
+        node: ast.AST,
+        cls: Optional[ClassInfo],
+    ) -> FunctionInfo:
+        assert isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        owner = cls.qualname if cls is not None else module.name
+        is_property = any(
+            (isinstance(dec, ast.Name) and dec.id in ("property", "cached_property"))
+            or (
+                isinstance(dec, ast.Attribute)
+                and dec.attr in ("getter", "cached_property")
+            )
+            for dec in node.decorator_list
+        )
+        return FunctionInfo(
+            qualname=f"{owner}.{node.name}",
+            module=module,
+            node=node,
+            cls=cls,
+            is_async=isinstance(node, ast.AsyncFunctionDef),
+            is_property=is_property,
+        )
+
+    def _collect_class_body(self, cls: ClassInfo) -> None:
+        module = cls.module
+        for item in cls.node.body:
+            if isinstance(item, ast.AnnAssign) and isinstance(
+                item.target, ast.Name
+            ):
+                cls.attr_annotations[item.target.id] = item.annotation
+                lock = self._lock_from_value(
+                    item.value, module, f"{cls.qualname}.{item.target.id}"
+                )
+                if lock is not None:
+                    cls.attr_locks[item.target.id] = lock
+                if module.pragmas.annotation("loop-owned", item.lineno) is not None:
+                    cls.loop_owned[item.target.id] = (
+                        f"declared loop-owned at {module.relpath}:{item.lineno}"
+                    )
+
+    def _collect_assignments(self, fn: FunctionInfo) -> None:
+        module = fn.module
+        assert isinstance(fn.node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        for node in ast.walk(fn.node):
+            if isinstance(node, ast.AnnAssign):
+                target, value = node.target, node.value
+                annotation: Optional[ast.expr] = node.annotation
+            elif isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target, value, annotation = node.targets[0], node.value, None
+            else:
+                continue
+            if (
+                fn.cls is not None
+                and isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+            ):
+                attr = target.attr
+                if annotation is not None:
+                    fn.cls.attr_annotations.setdefault(attr, annotation)
+                if value is not None:
+                    fn.cls.attr_exprs.setdefault(attr, (value, fn))
+                    lock = self._lock_from_value(
+                        value, module, f"{fn.cls.qualname}.{attr}"
+                    )
+                    if lock is not None:
+                        fn.cls.attr_locks[attr] = lock
+                if (
+                    module.pragmas.annotation("loop-owned", node.lineno)
+                    is not None
+                ):
+                    fn.cls.loop_owned[attr] = (
+                        f"declared loop-owned at {module.relpath}:{node.lineno}"
+                    )
+            elif isinstance(target, ast.Name) and value is not None:
+                lock = self._lock_from_value(
+                    value, module, f"{fn.qualname}.{target.id}"
+                )
+                if lock is not None:
+                    fn.local_locks[target.id] = lock
+
+    # -- lock construction sites ----------------------------------------------
+
+    def _lock_from_value(
+        self, value: Optional[ast.expr], module: ModuleInfo, key: str
+    ) -> Optional[LockInfo]:
+        if value is None:
+            return None
+        may_alias = False
+        if isinstance(value, ast.IfExp):
+            # ``lock if lock is not None else RankedLock(...)``: the lock
+            # this attribute really holds may be the caller's instance.
+            for branch in (value.body, value.orelse):
+                lock = self._lock_from_value(branch, module, key)
+                if lock is not None:
+                    lock.may_alias = True
+                    return lock
+            return None
+        if not isinstance(value, ast.Call):
+            # dataclass fields: field(default_factory=lambda: RankedLock(...))
+            return None
+        dotted = self._dotted_of(value.func, module)
+        if dotted is not None and dotted.split(".")[-1] == "field":
+            for kw in value.keywords:
+                if kw.arg == "default_factory" and isinstance(kw.value, ast.Lambda):
+                    return self._lock_from_value(kw.value.body, module, key)
+            return None
+        if dotted is not None and dotted.split(".")[-1] == "RankedLock":
+            rank = self._resolve_rank(value.args[0] if value.args else None, module)
+            name = key
+            if len(value.args) > 1 and isinstance(value.args[1], ast.Constant):
+                name = str(value.args[1].value)
+            reentrant = any(
+                kw.arg == "reentrant"
+                and isinstance(kw.value, ast.Constant)
+                and bool(kw.value.value)
+                for kw in value.keywords
+            )
+            return LockInfo(
+                key=key, name=name, rank=rank, reentrant=reentrant,
+                may_alias=may_alias, raw=False, pragma_rank=False,
+                relpath=module.relpath, line=value.lineno,
+            )
+        if dotted in {f"threading.{n}" for n in RAW_LOCK_NAMES}:
+            pragma = module.pragmas.annotation("rank", value.lineno)
+            rank = int(pragma) if pragma is not None else None
+            return LockInfo(
+                key=key, name=key, rank=rank,
+                reentrant=dotted.endswith(("RLock", "Condition")),
+                may_alias=may_alias, raw=True, pragma_rank=pragma is not None,
+                relpath=module.relpath, line=value.lineno,
+            )
+        return None
+
+    def _resolve_rank(
+        self, arg: Optional[ast.expr], module: ModuleInfo
+    ) -> Optional[int]:
+        if arg is None:
+            return None
+        if isinstance(arg, ast.Constant) and isinstance(arg.value, int):
+            return arg.value
+        dotted = self._dotted_of(arg, module)
+        if dotted is None:
+            return None
+        leaf = dotted.split(".")[-1]
+        if leaf in module.constants:
+            return module.constants[leaf]
+        return self.ranks.get(leaf)
+
+    # -- name / type resolution -----------------------------------------------
+
+    def _dotted_of(self, expr: ast.expr, module: ModuleInfo) -> Optional[str]:
+        """Best-effort dotted name of *expr* (``threading.Lock`` etc.)."""
+        if isinstance(expr, ast.Name):
+            if expr.id in module.classes:
+                return f"{module.name}.{expr.id}"
+            if expr.id in module.functions:
+                return f"{module.name}.{expr.id}"
+            return module.imports.get(expr.id, expr.id)
+        if isinstance(expr, ast.Attribute):
+            base = self._dotted_of(expr.value, module)
+            if base is None:
+                return None
+            return f"{base}.{expr.attr}"
+        if isinstance(expr, ast.Constant) and isinstance(expr.value, str):
+            try:
+                parsed = ast.parse(expr.value, mode="eval").body
+            except SyntaxError:
+                return None
+            return self._dotted_of(parsed, module)
+        return None
+
+    def canonical(self, dotted: Optional[str]) -> Optional[str]:
+        """Follow re-export chains (``repro.obs.MetricsRegistry`` → the
+        defining module's qualname) to a class/function the program knows."""
+        seen: set[str] = set()
+        while dotted is not None and dotted not in seen:
+            seen.add(dotted)
+            if dotted in self.classes or dotted in self.functions:
+                return dotted
+            head, _, tail = dotted.rpartition(".")
+            module = self.modules.get(head)
+            if module is None:
+                return dotted
+            if tail in module.classes:
+                return module.classes[tail].qualname
+            if tail in module.functions:
+                return module.functions[tail].qualname
+            target = module.imports.get(tail)
+            if target is None:
+                return dotted
+            dotted = target
+        return dotted
+
+    def resolve_class(self, dotted: Optional[str]) -> Optional[ClassInfo]:
+        return self.classes.get(self.canonical(dotted) or "")
+
+    def resolve_annotation(
+        self, annotation: Optional[ast.expr], module: ModuleInfo
+    ) -> Optional[str]:
+        """The dotted type an annotation denotes (unwrapping Optional/quotes)."""
+        if annotation is None:
+            return None
+        if isinstance(annotation, ast.Constant) and isinstance(
+            annotation.value, str
+        ):
+            try:
+                annotation = ast.parse(annotation.value, mode="eval").body
+            except SyntaxError:
+                return None
+        if isinstance(annotation, ast.Subscript):
+            root = self._dotted_of(annotation.value, module)
+            if root is not None and root.split(".")[-1] == "Optional":
+                return self.resolve_annotation(annotation.slice, module)
+            return None  # containers: not a single instance type
+        if isinstance(annotation, ast.BinOp) and isinstance(annotation.op, ast.BitOr):
+            left = self.resolve_annotation(annotation.left, module)
+            return left or self.resolve_annotation(annotation.right, module)
+        return self._dotted_of(annotation, module)
+
+    def annotation_refs(
+        self, annotation: Optional[ast.expr], module: ModuleInfo
+    ) -> Iterator[str]:
+        """Every dotted type an annotation mentions (into containers too)."""
+        if annotation is None:
+            return
+        if isinstance(annotation, ast.Constant) and isinstance(
+            annotation.value, str
+        ):
+            try:
+                annotation = ast.parse(annotation.value, mode="eval").body
+            except SyntaxError:
+                return
+        for node in ast.walk(annotation):
+            if isinstance(node, (ast.Name, ast.Attribute)):
+                dotted = self._dotted_of(node, module)
+                if dotted is not None:
+                    yield dotted
+
+    def infer_type(self, expr: ast.expr, fn: FunctionInfo) -> Optional[str]:
+        """The dotted class of *expr*'s value, when statically known."""
+        module = fn.module
+        if isinstance(expr, ast.IfExp):
+            return self.infer_type(expr.body, fn) or self.infer_type(
+                expr.orelse, fn
+            )
+        if isinstance(expr, ast.Call):
+            dotted = self._dotted_of(expr.func, module)
+            if self.resolve_class(dotted) is not None:
+                return dotted  # constructor call
+            callee = self.resolve_call(expr, fn)
+            if callee is not None:
+                returns = getattr(callee.node, "returns", None)
+                return self.resolve_annotation(returns, callee.module)
+            return None
+        if isinstance(expr, ast.Name):
+            return self._infer_name(expr.id, fn)
+        if isinstance(expr, ast.Attribute):
+            if isinstance(expr.value, ast.Name) and expr.value.id == "self":
+                if fn.cls is not None:
+                    return self._attr_type(fn.cls, expr.attr)
+                return None
+            base = self.infer_type(expr.value, fn)
+            cls = self.resolve_class(base)
+            if cls is not None:
+                return self._attr_type(cls, expr.attr)
+            return None
+        return None
+
+    def _infer_name(self, name: str, fn: FunctionInfo) -> Optional[str]:
+        guard = (fn.qualname, name)
+        if guard in self._infer_guard:
+            return None
+        self._infer_guard.add(guard)
+        try:
+            node = fn.node
+            assert isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+            if name == "self" and fn.cls is not None:
+                return fn.cls.qualname
+            args = node.args
+            for param in (*args.posonlyargs, *args.args, *args.kwonlyargs):
+                if param.arg == name:
+                    return self.resolve_annotation(param.annotation, fn.module)
+            for stmt in ast.walk(node):
+                if (
+                    isinstance(stmt, ast.Assign)
+                    and len(stmt.targets) == 1
+                    and isinstance(stmt.targets[0], ast.Name)
+                    and stmt.targets[0].id == name
+                ):
+                    return self.infer_type(stmt.value, fn)
+                if (
+                    isinstance(stmt, ast.AnnAssign)
+                    and isinstance(stmt.target, ast.Name)
+                    and stmt.target.id == name
+                ):
+                    return self.resolve_annotation(stmt.annotation, fn.module)
+            return None
+        finally:
+            self._infer_guard.discard(guard)
+
+    def _attr_type(self, cls: ClassInfo, attr: str) -> Optional[str]:
+        for klass in self.mro(cls):
+            if attr in klass.attr_annotations:
+                resolved = self.resolve_annotation(
+                    klass.attr_annotations[attr], klass.module
+                )
+                if resolved is not None:
+                    return resolved
+            if attr in klass.attr_exprs:
+                value, method = klass.attr_exprs[attr]
+                inferred = self.infer_type(value, method)
+                if inferred is not None:
+                    return inferred
+            prop = klass.methods.get(attr)
+            if prop is not None and prop.is_property:
+                returns = getattr(prop.node, "returns", None)
+                return self.resolve_annotation(returns, klass.module)
+        return None
+
+    def mro(self, cls: ClassInfo) -> Iterator[ClassInfo]:
+        """The class and its in-program bases, depth-first, cycle-safe."""
+        seen: set[str] = set()
+        stack = [cls]
+        while stack:
+            current = stack.pop(0)
+            if current.qualname in seen:
+                continue
+            seen.add(current.qualname)
+            yield current
+            for base in current.bases:
+                resolved = self.resolve_class(base)
+                if resolved is not None:
+                    stack.append(resolved)
+
+    # -- call resolution --------------------------------------------------------
+
+    def resolve_call(
+        self, call: ast.Call, fn: FunctionInfo
+    ) -> Optional[FunctionInfo]:
+        return self.resolve_callable(call.func, fn)
+
+    def resolve_callable(
+        self, func: ast.expr, fn: FunctionInfo
+    ) -> Optional[FunctionInfo]:
+        """Resolve a callable expression to an in-program function."""
+        module = fn.module
+        if isinstance(func, ast.Name):
+            if func.id in module.functions:
+                return module.functions[func.id]
+            dotted = self.canonical(module.imports.get(func.id))
+            if dotted is not None:
+                found = self.functions.get(dotted)
+                if found is not None:
+                    return found
+                cls = self.resolve_class(dotted)
+                if cls is not None:
+                    return self.lookup_method(cls, "__init__")
+            return None
+        if isinstance(func, ast.Attribute):
+            if isinstance(func.value, ast.Name) and func.value.id == "self":
+                if fn.cls is not None:
+                    return self.lookup_method(fn.cls, func.attr)
+                return None
+            dotted = self.canonical(self._dotted_of(func, module))
+            if dotted is not None and dotted in self.functions:
+                return self.functions[dotted]
+            base = self.infer_type(func.value, fn)
+            cls = self.resolve_class(base)
+            if cls is not None:
+                return self.lookup_method(cls, func.attr)
+            return None
+        return None
+
+    def lookup_method(
+        self, cls: ClassInfo, name: str
+    ) -> Optional[FunctionInfo]:
+        for klass in self.mro(cls):
+            if name in klass.methods:
+                return klass.methods[name]
+        return None
+
+    def lookup_attr_lock(
+        self, cls: ClassInfo, attr: str
+    ) -> Optional[LockInfo]:
+        for klass in self.mro(cls):
+            if attr in klass.attr_locks:
+                return klass.attr_locks[attr]
+        return None
+
+    # -- helpers shared by the passes ------------------------------------------
+
+    def parents_of(self, module: ModuleInfo) -> dict[ast.AST, ast.AST]:
+        cached = self._parents.get(module.name)
+        if cached is None:
+            cached = {
+                child: node
+                for node in ast.walk(module.tree)
+                for child in ast.iter_child_nodes(node)
+            }
+            self._parents[module.name] = cached
+        return cached
+
+    def all_functions(self) -> Iterator[FunctionInfo]:
+        return iter(list(self.functions.values()))
+
+    def suppressed(self, module: ModuleInfo, code: str, node: ast.AST) -> bool:
+        first = getattr(node, "lineno", 1)
+        last = getattr(node, "end_lineno", None) or first
+        return module.pragmas.is_disabled(code, first, last)
+
+    def pragma_findings(self) -> list[FlowFinding]:
+        """PF000: every PF suppression must carry a ``--`` justification."""
+        findings: list[FlowFinding] = []
+        for module in self.modules.values():
+            for line, codes in sorted(module.pragmas.line_disables.items()):
+                pf = sorted(c for c in codes if c.startswith("PF"))
+                if pf and module.pragmas.justification(line) is None:
+                    findings.append(
+                        FlowFinding(
+                            "PF000", module.relpath, line, 0,
+                            f"suppression of {', '.join(pf)} has no '--' "
+                            "justification; explain why the finding is safe",
+                        )
+                    )
+        return findings
+
+
+def build_program(paths: list[str], root: Optional[str] = None) -> Program:
+    """Discover, parse and model every ``*.py`` under *paths*."""
+    files = discover_files(paths)
+    project_root = (
+        Path(root).resolve()
+        if root is not None
+        else (find_project_root(files[0]) if files else Path.cwd())
+    )
+    program = Program(project_root)
+    for path in files:
+        source = path.read_text(encoding="utf-8")
+        try:
+            tree = ast.parse(source, filename=str(path))
+        except SyntaxError:
+            continue  # prodb_lint reports PL000 for these
+        program.add_module(path, source, tree)
+    program.finalize()
+    return program

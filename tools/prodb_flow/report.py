@@ -1,0 +1,143 @@
+"""Findings, text rendering, SARIF 2.1.0, and the lock-order DOT dump."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class Related:
+    """A secondary source location attached to a finding."""
+
+    path: str
+    line: int
+    label: str
+
+
+@dataclass(frozen=True)
+class FlowFinding:
+    """One verified-property violation, with its witness locations."""
+
+    code: str
+    path: str
+    line: int
+    col: int
+    message: str
+    related: tuple[Related, ...] = field(default_factory=tuple)
+
+    def render(self) -> str:
+        lines = [f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"]
+        for rel in self.related:
+            lines.append(f"    {rel.path}:{rel.line}: {rel.label}")
+        return "\n".join(lines)
+
+
+def write_sarif(findings: list[FlowFinding], rules: dict[str, str]) -> str:
+    """The findings as a SARIF 2.1.0 document (one run, one driver)."""
+    results = []
+    for finding in findings:
+        result = {
+            "ruleId": finding.code,
+            "level": "error",
+            "message": {"text": finding.message},
+            "locations": [_location(finding.path, finding.line, finding.col)],
+        }
+        if finding.related:
+            result["relatedLocations"] = [
+                {
+                    **_location(rel.path, rel.line, 0),
+                    "message": {"text": rel.label},
+                }
+                for rel in finding.related
+            ]
+        results.append(result)
+    document = {
+        "$schema": (
+            "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+            "Schemata/sarif-schema-2.1.0.json"
+        ),
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "prodb-flow",
+                        "informationUri": "docs/dev.md",
+                        "rules": [
+                            {
+                                "id": code,
+                                "shortDescription": {"text": text},
+                            }
+                            for code, text in sorted(rules.items())
+                        ],
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(document, indent=2, sort_keys=True) + "\n"
+
+
+def _location(path: str, line: int, col: int) -> dict:
+    region: dict = {"startLine": max(1, line)}
+    if col:
+        region["startColumn"] = col + 1  # SARIF columns are 1-based
+    return {
+        "physicalLocation": {
+            "artifactLocation": {"uri": path},
+            "region": region,
+        }
+    }
+
+
+@dataclass(frozen=True)
+class LockEdge:
+    """One observed ``held -> acquired`` step on some acquisition path."""
+
+    src: str  # lock key
+    dst: str
+    path: str
+    line: int
+    violation: bool = False
+
+
+def write_lockgraph(
+    locks: dict[str, tuple[str, Optional[int]]], edges: list[LockEdge]
+) -> str:
+    """The lock-order graph as DOT: nodes are locks, edges acquisitions.
+
+    *locks* maps lock key to ``(display name, rank)``. Green-bordered
+    nodes are ranked; red edges are rank inversions (the graph of a clean
+    tree is a DAG whose edges all point from lower to higher rank).
+    """
+    lines = [
+        "digraph lockorder {",
+        '  rankdir="LR";',
+        '  node [shape=box, fontname="monospace"];',
+    ]
+    for key, (name, rank) in sorted(locks.items()):
+        label = f"{name}\\nrank {rank}" if rank is not None else f"{name}\\nunranked"
+        color = "darkgreen" if rank is not None else "orange"
+        lines.append(f'  "{key}" [label="{label}", color={color}];')
+    seen: set[tuple[str, str, bool]] = set()
+    counts: dict[tuple[str, str, bool], int] = {}
+    sites: dict[tuple[str, str, bool], str] = {}
+    for edge in edges:
+        ident = (edge.src, edge.dst, edge.violation)
+        counts[ident] = counts.get(ident, 0) + 1
+        sites.setdefault(ident, f"{edge.path}:{edge.line}")
+    for ident in counts:
+        if ident in seen:
+            continue
+        seen.add(ident)
+        src, dst, violation = ident
+        style = ' color=red penwidth=2' if violation else ""
+        lines.append(
+            f'  "{src}" -> "{dst}" '
+            f'[label="{sites[ident]} (&times;{counts[ident]})"{style}];'
+        )
+    lines.append("}")
+    return "\n".join(lines) + "\n"

@@ -197,8 +197,8 @@ def lint_file(path: Path, project: Project, select: Optional[set[str]] = None) -
         pragmas=pragmas, project=project,
     )
     findings = [
-        Finding("PL000", relpath, line, 0, f"malformed prodb-lint pragma: {text!r}")
-        for line, text in pragmas.malformed
+        Finding("PL000", relpath, line, 0, f"malformed prodb-lint pragma {text!r}: {detail}")
+        for line, text, detail in pragmas.malformed
     ]
     for rule in ALL_RULES:
         if select is not None and rule.code not in select:

@@ -1,11 +1,14 @@
 """Pragma parsing: ``# prodb-lint: ...`` comments.
 
-Two scopes:
+One pragma grammar serves both tools — :mod:`prodb_lint` (syntactic
+rules, ``PL``-prefixed) and :mod:`prodb_flow` (whole-program concurrency
+analysis, ``PF``-prefixed). Three directive families:
 
-* **line** — ``# prodb-lint: disable=PL001,PL003`` suppresses the listed
-  rules on the physical line carrying the comment (for multi-line
-  statements, any line the offending node spans works). Rule-specific
-  aliases read better at the call site:
+* **suppressions** — ``# prodb-lint: disable=PL001,PF103`` suppresses the
+  listed rules on the physical line carrying the comment (for multi-line
+  statements, any line the offending node spans works);
+  ``disable-file=...`` (anywhere in the file) suppresses for the whole
+  file. Rule-specific aliases read better at the call site:
 
   ==================  ======
   ``exact``           PL003
@@ -14,15 +17,28 @@ Two scopes:
   ``seeded``          PL004
   ==================  ======
 
-* **file** — ``# prodb-lint: disable-file=PL004`` (anywhere in the file)
-  suppresses the listed rules for the whole file.
+* **annotations** — machine-readable facts consumed by ``prodb_flow``:
 
-Any directive may carry a justification after ``--``::
+  - ``# prodb-lint: rank=<N>`` on a lock-construction line declares that
+    a raw ``threading.Lock``/``RLock`` deliberately participates in the
+    engine's rank order at rank ``N`` (see ``repro.sanitize``). The
+    lockset pass then checks it like a :class:`RankedLock` instead of
+    flagging it PF102.
+  - ``# prodb-lint: loop-owned`` on an attribute declaration marks the
+    container as confined to the asyncio event-loop thread; the
+    confinement pass (PF2xx) seeds its taint set from these.
 
-    winner = table.setdefault(key, node)  # prodb-lint: lockfree -- GIL-atomic
+* **justifications** — any directive may carry free text after ``--``::
 
-Unknown directives are reported as ``PL000`` findings rather than silently
-ignored, so a typo like ``# prodb-lint: exact`` cannot mask a violation.
+      winner = table.setdefault(key, node)  # prodb-lint: lockfree -- GIL-atomic
+
+  ``prodb_flow`` *requires* a justification on every ``PF`` suppression
+  (an unexplained suppression is itself a finding, PF000).
+
+Unknown directives are reported as ``PL000`` findings rather than
+silently ignored — with the offending token named, so a typo like
+``# prodb-lint: rnak=30`` tells you which key it did not recognise
+instead of only where it sits.
 
 ``exact`` marks intentional bit-exact IEEE equality only. Code computing
 in log space — notably the columnar backend's ⊕-aggregation in
@@ -37,6 +53,7 @@ from __future__ import annotations
 import io
 import tokenize
 from dataclasses import dataclass, field
+from typing import Optional
 
 #: Aliases accepted in place of explicit ``disable=`` lists.
 ALIASES: dict[str, str] = {
@@ -46,17 +63,30 @@ ALIASES: dict[str, str] = {
     "seeded": "PL004",
 }
 
+#: Annotation keys understood by the toolchain (consumed by prodb_flow).
+ANNOTATION_KEYS = ("rank", "loop-owned")
+
+#: Rule-code prefixes the ``disable=`` lists accept.
+_CODE_PREFIXES = ("PL", "PF")
+
 _PREFIX = "prodb-lint:"
 
 
 @dataclass
 class Pragmas:
-    """Suppression state for one file."""
+    """Suppression and annotation state for one file."""
 
     line_disables: dict[int, set[str]] = field(default_factory=dict)
     file_disables: set[str] = field(default_factory=set)
-    #: ``(line, text)`` of directives that could not be parsed.
-    malformed: list[tuple[int, str]] = field(default_factory=list)
+    #: ``{line: {key: value}}`` — machine-readable annotations
+    #: (``rank`` maps to its integer literal as text, ``loop-owned``
+    #: to the empty string).
+    annotations: dict[int, dict[str, str]] = field(default_factory=dict)
+    #: ``{line: text}`` — the free text after ``--`` of each directive.
+    justifications: dict[int, str] = field(default_factory=dict)
+    #: ``(line, directive, detail)`` of directives that could not be
+    #: parsed; *detail* names the offending token.
+    malformed: list[tuple[int, str, str]] = field(default_factory=list)
 
     def is_disabled(self, code: str, first_line: int, last_line: int | None = None) -> bool:
         """Whether *code* is suppressed anywhere on the node's line span."""
@@ -68,6 +98,19 @@ class Pragmas:
                 return True
         return False
 
+    def annotation(self, key: str, first_line: int, last_line: int | None = None) -> Optional[str]:
+        """The value of annotation *key* on the node's line span, or None."""
+        last = first_line if last_line is None else last_line
+        for line in range(first_line, last + 1):
+            found = self.annotations.get(line)
+            if found is not None and key in found:
+                return found[key]
+        return None
+
+    def justification(self, line: int) -> Optional[str]:
+        """The ``--`` justification of the directive on *line*, if any."""
+        return self.justifications.get(line)
+
     def _add(self, scope: dict[int, set[str]] | set[str], line: int, codes: set[str]) -> None:
         if isinstance(scope, set):
             scope.update(codes)
@@ -75,11 +118,16 @@ class Pragmas:
             scope.setdefault(line, set()).update(codes)
 
 
-def _parse_codes(spec: str) -> set[str] | None:
-    codes = {part.strip().upper() for part in spec.split(",") if part.strip()}
-    if not codes or not all(c.startswith("PL") and c[2:].isdigit() for c in codes):
-        return None
-    return codes
+def _parse_codes(spec: str) -> tuple[Optional[set[str]], str]:
+    """Parse a rule-code list; returns ``(codes, bad_token)``."""
+    parts = [part.strip() for part in spec.split(",")]
+    codes = {part.upper() for part in parts if part}
+    if not codes:
+        return None, spec.strip() or "<empty>"
+    for code in sorted(codes):
+        if not (code[:2] in _CODE_PREFIXES and code[2:].isdigit()):
+            return None, code
+    return codes, ""
 
 
 def parse_pragmas(source: str) -> Pragmas:
@@ -98,22 +146,48 @@ def parse_pragmas(source: str) -> Pragmas:
         text = comment.lstrip("#").strip()
         if not text.startswith(_PREFIX):
             continue
-        directive = text[len(_PREFIX):].split("--", 1)[0].strip()
+        directive, _, justification = text[len(_PREFIX):].partition("--")
+        directive = directive.strip()
+        justification = justification.strip()
+        if justification:
+            pragmas.justifications[line] = justification
         lowered = directive.lower()
         if lowered in ALIASES:
             pragmas._add(pragmas.line_disables, line, {ALIASES[lowered]})
+        elif lowered == "loop-owned":
+            pragmas.annotations.setdefault(line, {})["loop-owned"] = "true"
+        elif lowered.startswith("rank="):
+            value = directive.split("=", 1)[1].strip()
+            try:
+                int(value)
+            except ValueError:
+                pragmas.malformed.append(
+                    (line, directive, f"rank must be an integer, got {value!r}")
+                )
+            else:
+                pragmas.annotations.setdefault(line, {})["rank"] = value
         elif lowered.startswith("disable-file="):
-            codes = _parse_codes(directive.split("=", 1)[1])
+            codes, bad = _parse_codes(directive.split("=", 1)[1])
             if codes is None:
-                pragmas.malformed.append((line, directive))
+                pragmas.malformed.append(
+                    (line, directive, f"bad rule code {bad!r} in disable-file list")
+                )
             else:
                 pragmas._add(pragmas.file_disables, line, codes)
         elif lowered.startswith("disable="):
-            codes = _parse_codes(directive.split("=", 1)[1])
+            codes, bad = _parse_codes(directive.split("=", 1)[1])
             if codes is None:
-                pragmas.malformed.append((line, directive))
+                pragmas.malformed.append(
+                    (line, directive, f"bad rule code {bad!r} in disable list")
+                )
             else:
                 pragmas._add(pragmas.line_disables, line, codes)
         else:
-            pragmas.malformed.append((line, directive))
+            token = directive.split("=", 1)[0].split()[0] if directive else "<empty>"
+            known = ", ".join(
+                ("disable", "disable-file", *ANNOTATION_KEYS, *sorted(ALIASES))
+            )
+            pragmas.malformed.append(
+                (line, directive, f"unknown annotation key {token!r} (known: {known})")
+            )
     return pragmas

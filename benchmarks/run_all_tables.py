@@ -43,6 +43,7 @@ MODULES = [
     "bench_e16_columnar_plans",
     "bench_e17_server_throughput",
     "bench_e18_worker_pool",
+    "bench_e19_conditioning",
 ]
 
 RESULTS_PATH = Path(__file__).parent / "BENCH_results.json"

@@ -378,17 +378,36 @@ def bvar(index: int) -> BVar:
 
 
 def evaluate(expr: BExpr, assignment: Mapping[int, bool]) -> bool:
-    """Evaluate under a total assignment of the expression's variables."""
-    if isinstance(expr, BTrue):
-        return True
-    if isinstance(expr, BFalse):
-        return False
-    if isinstance(expr, BVar):
-        return bool(assignment[expr.index])
-    if isinstance(expr, BNot):
-        return not evaluate(expr.sub, assignment)
-    if isinstance(expr, BAnd):
-        return all(evaluate(p, assignment) for p in expr.parts)
-    if isinstance(expr, BOr):
-        return any(evaluate(p, assignment) for p in expr.parts)
-    raise TypeError(f"unknown node {expr!r}")
+    """Evaluate under a total assignment of the expression's variables.
+
+    Hash-consed expressions are DAGs: a shared subformula appears once in
+    memory but on many paths, so a naive tree walk can revisit it
+    exponentially often. A per-call memo keyed by node id makes this a
+    single pass over the distinct nodes — which matters to callers that
+    evaluate the same large constraint circuit once per sampled world
+    (:func:`repro.condition.core.conditioned_karp_luby`).
+    """
+    memo: dict[int, bool] = {}
+
+    def walk(node: BExpr) -> bool:
+        if isinstance(node, BTrue):
+            return True
+        if isinstance(node, BFalse):
+            return False
+        if isinstance(node, BVar):
+            return bool(assignment[node.index])
+        cached = memo.get(node.nid)
+        if cached is not None:
+            return cached
+        if isinstance(node, BNot):
+            result = not walk(node.sub)
+        elif isinstance(node, BAnd):
+            result = all(walk(p) for p in node.parts)
+        elif isinstance(node, BOr):
+            result = any(walk(p) for p in node.parts)
+        else:
+            raise TypeError(f"unknown node {node!r}")
+        memo[node.nid] = result
+        return result
+
+    return walk(expr)

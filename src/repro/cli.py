@@ -2,19 +2,23 @@
 
 Subcommands:
 
-* ``query``  — load relations from CSV files and evaluate a Boolean query;
-* ``batch``  — evaluate many queries through a caching ``EngineSession``;
-* ``serve``  — serve queries over TCP/HTTP from one shared session;
-* ``safety`` — decide the dichotomy side of a CQ/UCQ from syntax alone;
-* ``demo``   — run the built-in Figure 1 demonstration.
+* ``query``     — load relations from CSV files and evaluate a Boolean query;
+* ``batch``     — evaluate many queries through a caching ``EngineSession``;
+* ``serve``     — serve queries over TCP/HTTP from one shared session;
+* ``condition`` — condition on a constraint set Γ and explore the scenario;
+* ``safety``    — decide the dichotomy side of a CQ/UCQ from syntax alone;
+* ``demo``      — run the built-in Figure 1 demonstration.
 
 Examples::
 
     python -m repro query data/R.csv data/S.csv -q "R(x), S(x,y)"
     python -m repro query data/*.csv -q "forall x. forall y. (S(x,y) -> R(x))"
     python -m repro query data/*.csv -q "R(x), S(x,y)" --stats --seed 7
+    python -m repro query data/*.csv -q "R(2)" --scenario "+R(1); S(x,y), T(y)"
     python -m repro batch data/*.csv -q "R(x), S(x,y)" -q "T(y), S(x,y)" --stats
     python -m repro serve data/*.csv --port 7077 --deadline-ms 100 --stats
+    python -m repro condition data/*.csv -c "+R(1); S(x,y), T(y)" -q "R(2)" \
+        --force "R(2)=true" --top-k 3 --facts
     python -m repro safety -q "R(x), S(x,y), T(y)"
     python -m repro demo
 """
@@ -72,6 +76,13 @@ def _build_parser() -> argparse.ArgumentParser:
         choices=["auto", "rows", "columnar"],
         help="extensional (safe-plan) executor: tuple-at-a-time rows, "
         "numpy columnar, or auto (columnar above a row-count threshold)",
+    )
+    query.add_argument(
+        "--scenario",
+        default=None,
+        metavar="CONSTRAINTS",
+        help="condition the answer on Γ: ';'-separated constraint specs "
+        "(+R(1) assert, -R(1) deny, Q require, !Q forbid); prints P(Q|Γ)",
     )
 
     batch = sub.add_parser(
@@ -214,6 +225,11 @@ def _build_parser() -> argparse.ArgumentParser:
         help="disable request coalescing and answer caching (benchmark baseline)",
     )
     serve.add_argument(
+        "--no-restart-workers",
+        action="store_true",
+        help="do not respawn crashed worker processes (--mode processes)",
+    )
+    serve.add_argument(
         "--stats",
         action="store_true",
         help="log a one-line traffic summary every --stats-interval seconds",
@@ -223,6 +239,53 @@ def _build_parser() -> argparse.ArgumentParser:
         type=float,
         default=10.0,
         help="seconds between --stats log lines (default: 10)",
+    )
+
+    condition = sub.add_parser(
+        "condition",
+        help="condition on a constraint set and explore what-if scenarios",
+    )
+    condition.add_argument("files", nargs="+", help="CSV files, one relation each")
+    condition.add_argument(
+        "-c",
+        "--constraints",
+        required=True,
+        help="';'-separated constraint specs: +R(1) asserts a fact, -R(1) "
+        "denies it, a Boolean query requires it true, !Q forbids it",
+    )
+    condition.add_argument(
+        "-q",
+        "--query",
+        action="append",
+        dest="queries",
+        default=[],
+        help="query whose posterior P(Q|Γ) to print (repeatable)",
+    )
+    condition.add_argument(
+        "--force",
+        action="append",
+        default=[],
+        metavar="FACT=BOOL",
+        help="what-if evidence, e.g. --force 'R(2)=true' (repeatable); "
+        "derives the scenario by cofactor instead of recompiling",
+    )
+    condition.add_argument(
+        "--top-k",
+        type=int,
+        default=0,
+        metavar="K",
+        help="print the K most probable worlds given Γ",
+    )
+    condition.add_argument(
+        "--facts",
+        action="store_true",
+        help="print posterior marginals P(f|Γ) for constraint-relevant facts",
+    )
+    condition.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="RNG seed for the approximate routes (reproducible estimates)",
     )
 
     safety = sub.add_parser("safety", help="decide PTIME vs #P-hard from syntax")
@@ -236,6 +299,18 @@ def _cmd_query(args: argparse.Namespace) -> int:
     pdb = ProbabilisticDatabase(
         tid=load_tid(args.files), seed=args.seed, backend=args.backend
     )
+    if args.scenario is not None:
+        from .condition import ConditionedScenario
+
+        scenario = ConditionedScenario.compile(pdb, args.scenario)
+        answer = scenario.posterior(args.query)
+        print(f"P(Q | Γ)    : {answer.probability:.10g}")
+        print(f"P(Γ)        : {answer.gamma_probability:.10g}")
+        print(f"method      : {answer.method}")
+        print(f"exact       : {answer.exact}")
+        if answer.detail:
+            print(f"detail      : {answer.detail}")
+        return 0
     if args.explain:
         print(pdb.explain(args.query))
         return 0
@@ -316,6 +391,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         request_timeout_s=args.timeout_s,
         default_epsilon=args.epsilon,
         default_delta=args.delta,
+        restart_workers=not args.no_restart_workers,
     )
 
     async def _run() -> None:
@@ -368,6 +444,63 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_force(pairs: Sequence[str]) -> dict:
+    force = {}
+    for pair in pairs:
+        spec, eq, raw = pair.partition("=")
+        value = raw.strip().lower()
+        if not eq or value not in ("true", "false", "1", "0"):
+            raise ValueError(
+                f"--force needs FACT=true|false, got {pair!r}"
+            )
+        force[spec.strip()] = value in ("true", "1")
+    return force
+
+
+def _fmt_fact(fact: object) -> str:
+    if isinstance(fact, tuple) and len(fact) == 2 and isinstance(fact[1], tuple):
+        name, values = fact
+        return f"{name}({', '.join(str(v) for v in values)})"
+    return str(fact)
+
+
+def _cmd_condition(args: argparse.Namespace) -> int:
+    from .condition import ConditionedScenario
+
+    pdb = ProbabilisticDatabase(tid=load_tid(args.files), seed=args.seed)
+    scenario = ConditionedScenario.compile(pdb, args.constraints)
+    print(f"P(Γ) = {scenario.gamma_probability:.10g}  "
+          f"[{len(scenario.constraints)} constraints]")
+    if args.force:
+        scenario = scenario.whatif(_parse_force(args.force))
+        print(f"what-if: P(Γ') = {scenario.gamma_probability:.10g}  "
+              f"(forced: {', '.join(args.force)})")
+    for text in args.queries:
+        answer = scenario.posterior(text)
+        print(f"P({text} | Γ) = {answer.probability:.10g}")
+    if args.facts:
+        print("posterior marginals:")
+        for fact, report in sorted(
+            scenario.fact_posteriors().items(), key=lambda kv: str(kv[0])
+        ):
+            print(
+                f"  {_fmt_fact(fact)}: prior={report.prior:.6g} "
+                f"posterior={report.posterior:.6g} "
+                f"influence={report.influence:.6g}"
+            )
+    if args.top_k > 0:
+        print(f"top-{args.top_k} worlds given Γ:")
+        for rank, candidate in enumerate(scenario.top_k_worlds(args.top_k), 1):
+            facts = ", ".join(
+                f"{'+' if present else '-'}{_fmt_fact(fact)}"
+                for fact, present in sorted(
+                    candidate.world.items(), key=lambda kv: str(kv[0])
+                )
+            )
+            print(f"  #{rank}  posterior={candidate.posterior:.6g}  [{facts}]")
+    return 0
+
+
 def _cmd_safety(args: argparse.Namespace) -> int:
     text = args.query
     query = parse_ucq(text) if "|" in text else parse_cq(text)
@@ -399,6 +532,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "query": _cmd_query,
         "batch": _cmd_batch,
         "serve": _cmd_serve,
+        "condition": _cmd_condition,
         "safety": _cmd_safety,
         "demo": _cmd_demo,
     }

@@ -92,6 +92,11 @@ class LRUCache:
         with self._lock:
             self._data.clear()
 
+    def pop(self, key: Hashable, default: Any = None) -> Any:
+        """Remove and return an entry (no hit/miss accounting)."""
+        with self._lock:
+            return self._data.pop(key, default)
+
     def keys(self) -> list:
         """A snapshot of the current keys, LRU first."""
         with self._lock:
@@ -113,6 +118,16 @@ def _digest(parts: Iterable[str]) -> str:
         h.update(part.encode())
         h.update(b"\x00")
     return h.hexdigest()
+
+
+def digest(parts: Iterable[str]) -> str:
+    """The cache's content-hash primitive, for other content-addressed keys.
+
+    Exposed so sibling layers (e.g. the conditioning subsystem's
+    constraint-set fingerprints) address their entries with the same
+    domain-separated blake2b construction instead of inventing another.
+    """
+    return _digest(parts)
 
 
 def query_fingerprint(query: Any, head: Optional[tuple] = None) -> str:

@@ -19,6 +19,7 @@ risk query is true?" — the explanation companion to
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass
 from typing import Mapping, Optional
 
@@ -131,3 +132,99 @@ def most_probable_model(
             if var not in root_scope:
                 probability *= p if choice else 1.0 - p
     return Explanation(assignment, probability)
+
+
+def top_k_models(
+    circuit: Circuit,
+    probabilities: Mapping[int, float],
+    k: int,
+    root: Optional[int] = None,
+) -> list[Explanation]:
+    """The *k* most probable satisfying worlds, best first (exact).
+
+    Best-first branch-and-bound over total assignments: variables are
+    fixed in order of decreasing decisiveness (|p − ½|), and a partial
+    assignment's priority is the product of its chosen factors times the
+    mode product of the unassigned rest — an admissible bound, since no
+    completion can beat the per-variable mode. A partial assignment whose
+    restricted circuit is already unsatisfiable is pruned. When a *total*
+    assignment pops, its priority equals its exact probability and every
+    queued state bounds its own completions from above, so emissions come
+    out in non-increasing probability order — the A* argument for exact
+    k-best enumeration.
+
+    Zero-probability worlds are never emitted (a branch whose bound hits
+    0.0 cannot contribute), so fewer than *k* explanations come back when
+    the circuit has fewer positive-probability models. ``k < 1`` raises.
+    """
+    if k < 1:
+        raise ValueError("k must be at least 1")
+    start = circuit.root if root is None else root
+    if start == FALSE_LEAF:
+        return []
+    order = sorted(probabilities, key=lambda v: -abs(probabilities[v] - 0.5))
+
+    def satisfiable(assignment: dict[int, bool]) -> bool:
+        """SAT of the circuit under a partial assignment, one O(|C|) pass."""
+        memo: dict[int, bool] = {TRUE_LEAF: True, FALSE_LEAF: False}
+
+        def walk(node_id: int) -> bool:
+            cached = memo.get(node_id)
+            if cached is not None:
+                return cached
+            node = circuit.nodes[node_id]
+            if isinstance(node, Decision):
+                fixed = assignment.get(node.var)
+                if fixed is None:
+                    result = walk(node.lo) or walk(node.hi)
+                else:
+                    result = walk(node.hi) if fixed else walk(node.lo)
+            elif isinstance(node, AndNode):
+                result = all(walk(child) for child in node.children)
+            elif isinstance(node, OrNode):
+                result = any(walk(child) for child in node.children)
+            elif isinstance(node, Literal):
+                fixed = assignment.get(node.var)
+                result = fixed is None or fixed == node.positive
+            else:  # pragma: no cover - defensive
+                raise TypeError(f"unknown node {node!r}")
+            memo[node_id] = result
+            return result
+
+        return walk(start)
+
+    # Suffix mode products: bound contribution of variables order[i:].
+    suffix = [1.0] * (len(order) + 1)
+    for i in range(len(order) - 1, -1, -1):
+        p = probabilities[order[i]]
+        suffix[i] = suffix[i + 1] * max(p, 1.0 - p)
+
+    # Heap of (-bound, tiebreak, depth, chosen-product, assignment);
+    # the tiebreak keeps the heap total-ordered without comparing dicts,
+    # and carrying the chosen-product avoids dividing it back out of the
+    # bound (no float drift against exact world probabilities).
+    counter = 0
+    heap: list[tuple[float, int, int, float, dict[int, bool]]] = []
+    empty: dict[int, bool] = {}
+    if satisfiable(empty):
+        heap.append((-suffix[0], counter, 0, 1.0, empty))
+    out: list[Explanation] = []
+    while heap and len(out) < k:
+        negbound, _, depth, chosen, assignment = heapq.heappop(heap)
+        if depth == len(order):
+            out.append(Explanation(dict(assignment), chosen))
+            continue
+        var = order[depth]
+        p = probabilities[var]
+        for value, factor in ((True, p), (False, 1.0 - p)):
+            picked = chosen * factor
+            bound = picked * suffix[depth + 1]
+            if bound <= 0.0:
+                continue
+            child = dict(assignment)
+            child[var] = value
+            if not satisfiable(child):
+                continue
+            counter += 1
+            heapq.heappush(heap, (-bound, counter, depth + 1, picked, child))
+    return out

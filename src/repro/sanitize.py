@@ -24,9 +24,9 @@ What is audited when enabled:
 * **kernel unique-table consistency** — each interned node is stored under
   exactly the key its structure dictates, and the table holds no aliases;
 * **lock ordering** — the engine's locks carry ranks
-  (:data:`RANK_WORKER_POOL` < :data:`RANK_SERVER` < :data:`RANK_INFLIGHT`
-  < :data:`RANK_CACHE` < :data:`RANK_STATS` < :data:`RANK_INTERNER`
-  < :data:`RANK_METRICS`) and a
+  (:data:`RANK_WORKER_POOL` < :data:`RANK_SERVER` < :data:`RANK_SCENARIO`
+  < :data:`RANK_INFLIGHT` < :data:`RANK_CACHE` < :data:`RANK_STATS`
+  < :data:`RANK_INTERNER` < :data:`RANK_METRICS`) and a
   :class:`RankedLock`
   refuses acquisition out of rank order, turning a potential deadlock into
   an immediate :class:`LockOrderError`;
@@ -65,6 +65,7 @@ __all__ = [
     "RANK_INFLIGHT",
     "RANK_INTERNER",
     "RANK_METRICS",
+    "RANK_SCENARIO",
     "RANK_SERVER",
     "RANK_STATS",
     "RANK_WORKER_POOL",
@@ -285,6 +286,13 @@ RANK_WORKER_POOL = 3
 #: hence the lowest rank: a server lock can never legally wrap one of the
 #: engine's locks.
 RANK_SERVER = 5
+#: Rank of the conditioning layer's scenario-cache lock
+#: (:class:`repro.condition.session.ScenarioManager`): held only for
+#: id-table and LRU bookkeeping, never across constraint compilation or
+#: a conditioned evaluation. Above the server ranks (the request path
+#: resolves scenarios while holding no server lock) and below the
+#: engine's in-flight/cache ranks, which the manager's LRU acquires.
+RANK_SCENARIO = 7
 #: Rank of :class:`repro.engine.session.EngineSession`'s in-flight lock.
 RANK_INFLIGHT = 10
 #: Rank of :class:`repro.engine.cache.LRUCache`'s lock.

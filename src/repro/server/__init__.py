@@ -8,21 +8,32 @@ Three cooperating pieces:
   its rung and guarantee;
 * :mod:`repro.server.service` — the asyncio server with request
   coalescing, admission control and graceful drain, plus the HTTP shim
-  (``POST /query``, ``GET /healthz``, ``GET /metrics``);
+  (``POST /query``, ``POST /condition``, ``DELETE /condition/<id>``,
+  ``GET /healthz``, ``GET /metrics``);
 * :mod:`repro.server.pool` — the multi-process mode: shared-memory
   columnar shards published once, N spawned workers attached read-only,
-  consistent-hash routing for cache affinity, crash requeue-or-shed.
+  consistent-hash routing for cache affinity, crash requeue-or-shed with
+  optional auto-respawn.
 
-See docs/api.md ("Serving") for the protocol and guarantee catalog.
+Conditioning rides the same protocol: ``op: condition`` installs a
+constraint set as a server-side scenario (compiled once), queries naming
+a ``scenario`` answer ``P(Q | Γ)``, and ``force`` derives what-if
+cofactors — see :mod:`repro.condition`.
+
+See docs/api.md ("Serving", "Conditioning & what-if") for the protocol
+and guarantee catalog.
 """
 
-from .client import ServerClient, http_get
+from .client import ServerClient, http_get, http_request
 from .ladder import CostPredictor, MethodLadder, RungAnswer
 from .pool import WorkerOptions, WorkerPool
 from .protocol import (
+    ConditionRequest,
+    DropConditionRequest,
     ErrorCode,
     ProtocolError,
     QueryRequest,
+    Request,
     decode_request,
     encode,
     error_response,
@@ -30,12 +41,15 @@ from .protocol import (
 from .service import QueryServer, ServerConfig, ServerThread
 
 __all__ = [
+    "ConditionRequest",
     "CostPredictor",
+    "DropConditionRequest",
     "ErrorCode",
     "MethodLadder",
     "ProtocolError",
     "QueryRequest",
     "QueryServer",
+    "Request",
     "RungAnswer",
     "ServerClient",
     "ServerConfig",
@@ -46,4 +60,5 @@ __all__ = [
     "encode",
     "error_response",
     "http_get",
+    "http_request",
 ]

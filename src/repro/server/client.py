@@ -10,9 +10,9 @@ from __future__ import annotations
 
 import json
 import socket
-from typing import Any, Dict, Optional
+from typing import Any, Dict, Iterable, Mapping, Optional, Tuple, Union
 
-__all__ = ["ServerClient", "http_get"]
+__all__ = ["ServerClient", "http_get", "http_request"]
 
 
 class ServerClient:
@@ -51,8 +51,15 @@ class ServerClient:
         epsilon: Optional[float] = None,
         delta: Optional[float] = None,
         id: Optional[str] = None,
+        scenario: Optional[str] = None,
+        force: Optional[Mapping[str, bool]] = None,
     ) -> Dict[str, Any]:
-        """Evaluate one Boolean query; keyword args mirror the protocol."""
+        """Evaluate one Boolean query; keyword args mirror the protocol.
+
+        Pass ``scenario`` (an id returned by :meth:`condition`) to answer
+        ``P(Q | Γ)`` through the installed scenario, and ``force`` (fact
+        spec → bool) for a what-if derivation of it.
+        """
         payload: Dict[str, Any] = {"query": query, "method": method}
         for name, value in (
             ("backend", backend),
@@ -61,9 +68,40 @@ class ServerClient:
             ("epsilon", epsilon),
             ("delta", delta),
             ("id", id),
+            ("scenario", scenario),
+            ("force", dict(force) if force is not None else None),
         ):
             if value is not None:
                 payload[name] = value
+        return self.request(payload)
+
+    def condition(
+        self,
+        constraints: Union[str, Iterable[str]],
+        *,
+        id: Optional[str] = None,
+    ) -> Dict[str, Any]:
+        """Install a constraint set; the response carries its scenario id.
+
+        *constraints* is a list of spec strings (``"+R(1)"``, ``"-S(2,3)"``,
+        ``"!Q"``, or a required Boolean query) or one ``;``-separated
+        string. Idempotent: same constraints + same database → same id.
+        """
+        specs = (
+            constraints if isinstance(constraints, str) else list(constraints)
+        )
+        payload: Dict[str, Any] = {"op": "condition", "constraints": specs}
+        if id is not None:
+            payload["id"] = id
+        return self.request(payload)
+
+    def drop_condition(
+        self, scenario: str, *, id: Optional[str] = None
+    ) -> Dict[str, Any]:
+        """Uninstall a scenario everywhere (idempotent)."""
+        payload: Dict[str, Any] = {"op": "drop_condition", "scenario": scenario}
+        if id is not None:
+            payload["id"] = id
         return self.request(payload)
 
     def close(self) -> None:
@@ -79,12 +117,28 @@ class ServerClient:
         self.close()
 
 
-def http_get(host: str, port: int, path: str, timeout_s: float = 10.0) -> str:
-    """Fetch one HTTP-shim endpoint (``/healthz``, ``/metrics``); return the body."""
+def http_request(
+    host: str,
+    port: int,
+    method: str,
+    path: str,
+    body: Optional[Dict[str, Any]] = None,
+    timeout_s: float = 10.0,
+) -> Tuple[int, str]:
+    """One HTTP-shim request; returns ``(status, body)`` without raising.
+
+    Covers the REST face of the protocol: ``POST /condition``,
+    ``DELETE /condition/<id>``, ``POST /query``, plus the GET endpoints.
+    """
+    payload = (
+        json.dumps(body, separators=(",", ":")).encode() if body is not None else b""
+    )
+    head = (
+        f"{method} {path} HTTP/1.1\r\nHost: {host}\r\n"
+        f"Content-Length: {len(payload)}\r\nConnection: close\r\n\r\n"
+    )
     with socket.create_connection((host, port), timeout=timeout_s) as sock:
-        sock.sendall(
-            f"GET {path} HTTP/1.1\r\nHost: {host}\r\nConnection: close\r\n\r\n".encode()
-        )
+        sock.sendall(head.encode("latin-1") + payload)
         chunks = []
         while True:
             chunk = sock.recv(65536)
@@ -92,8 +146,17 @@ def http_get(host: str, port: int, path: str, timeout_s: float = 10.0) -> str:
                 break
             chunks.append(chunk)
     raw = b"".join(chunks).decode("utf-8", errors="replace")
-    head, _, body = raw.partition("\r\n\r\n")
-    if not head.startswith("HTTP/1.1 200"):
-        status = head.splitlines()[0] if head else "<empty reply>"
-        raise ConnectionError(f"GET {path} failed: {status}")
+    headers, _, reply = raw.partition("\r\n\r\n")
+    try:
+        status = int(headers.split(" ", 2)[1])
+    except (IndexError, ValueError):
+        raise ConnectionError(f"{method} {path}: malformed reply {headers!r}") from None
+    return status, reply
+
+
+def http_get(host: str, port: int, path: str, timeout_s: float = 10.0) -> str:
+    """Fetch one HTTP-shim endpoint (``/healthz``, ``/metrics``); return the body."""
+    status, body = http_request(host, port, "GET", path, timeout_s=timeout_s)
+    if status != 200:
+        raise ConnectionError(f"GET {path} failed: HTTP {status}")
     return body

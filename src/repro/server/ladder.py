@@ -18,6 +18,16 @@ rung whose *predicted* cost fits the request's remaining deadline:
    materialize, seeded naive Monte Carlo (additive ε). This rung always
    answers — it is the floor of the ladder.
 
+**Conditioned evaluation.** When a request names an installed scenario
+(:mod:`repro.condition`), the ladder walks a two-rung conditioned
+variant instead: ``exact`` counts ``P(Q ∧ Γ) / P(Γ)`` on the scenario's
+compiled circuit (gated on the grounded lineage size, like grounded
+DPLL), else ``sampled`` runs Karp–Luby with Γ-rejection
+(:func:`repro.condition.core.conditioned_karp_luby`). The dissociation
+``bounds`` rung does not apply — the sandwich bounds ``P(Q)``, not the
+conditional. The predictor keys conditioned costs per
+``(query, scenario)``, so per-scenario latencies are learned separately.
+
 **Predicted vs actual overrun.** Rung costs are predicted from an EWMA of
 observed latencies per ``(query, rung)`` (:class:`CostPredictor`), seeded
 by structural heuristics (liftability, lineage variable count vs the
@@ -41,6 +51,7 @@ from dataclasses import dataclass, replace
 from typing import Any, Dict, Optional, Tuple
 
 from ..booleans.forms import FormSizeExceeded, to_dnf
+from ..condition.core import ConditionedAnswer, ConditionedScenario
 from ..core.pdb import Method, ProbabilisticDatabase, QueryAnswer
 from ..engine.cache import query_fingerprint
 from ..engine.session import EngineSession
@@ -77,6 +88,8 @@ class RungAnswer:
     elapsed_s: float = 0.0
     deadline_exceeded: bool = False
     cache_hit: bool = False
+    scenario: Optional[str] = None
+    gamma_probability: Optional[float] = None
 
     def to_payload(self) -> Dict[str, Any]:
         """The response fields this answer contributes to the protocol."""
@@ -89,6 +102,10 @@ class RungAnswer:
             "method": self.method,
             "detail": self.detail,
         }
+        if self.scenario is not None:
+            out["scenario"] = self.scenario
+        if self.gamma_probability is not None:
+            out["gamma_probability"] = self.gamma_probability
         if self.lower is not None and self.upper is not None:
             out["bounds"] = {"lower": self.lower, "upper": self.upper}
         if self.epsilon is not None:
@@ -183,20 +200,28 @@ class MethodLadder:
         deadline_s: Optional[float] = None,
         epsilon: Optional[float] = None,
         delta: Optional[float] = None,
+        scenario: Optional[ConditionedScenario] = None,
+        scenario_id: Optional[str] = None,
     ) -> RungAnswer:
         """Answer *query*, naming the rung and the guarantee it carries.
 
         ``method="ladder"`` walks the degradation ladder under
         *deadline_s*; any engine route name evaluates that route directly
-        (still reporting rung/guarantee uniformly).
+        (still reporting rung/guarantee uniformly). With *scenario* the
+        answer is ``P(Q | Γ)`` through the conditioned rungs instead.
         """
         start = time.perf_counter()
+        eps = epsilon if epsilon is not None else self.default_epsilon
+        dlt = delta if delta is not None else self.default_delta
+        if scenario is not None:
+            answer = self._conditioned(
+                query, scenario, scenario_id, start, deadline_s, eps, dlt
+            )
+            return self._finish(answer, start, deadline_s)
         if method != "ladder":
             answer = self._direct(query, Method(method))
             return self._finish(answer, start, deadline_s)
         qfp = query_fingerprint(query)
-        eps = epsilon if epsilon is not None else self.default_epsilon
-        dlt = delta if delta is not None else self.default_delta
 
         exact = self._try_exact(query, qfp, start, deadline_s)
         if exact is not None:
@@ -258,6 +283,100 @@ class MethodLadder:
             method=answer.method.value,
             detail=answer.detail,
             cache_hit=bool(answer.stats and answer.stats.cache_hit),
+        )
+
+    # -- conditioned rungs ----------------------------------------------------
+
+    def _conditioned(
+        self,
+        query: str,
+        scenario: ConditionedScenario,
+        scenario_id: Optional[str],
+        start: float,
+        deadline_s: Optional[float],
+        epsilon: float,
+        delta: float,
+    ) -> RungAnswer:
+        """``P(Q | Γ)``: exact on the conditioned circuit, else Γ-rejection KL.
+
+        Answers are cached under the scenario's content address (database
+        fingerprint, Γ fingerprint, what-if evidence), so cache entries
+        are invalidated by construction exactly like unconditioned ones.
+        """
+        qfp = query_fingerprint(query)
+        skey = "|".join(
+            (
+                scenario.db_fingerprint,
+                scenario.constraints.fingerprint(),
+                scenario.forced_fingerprint(),
+            )
+        )
+        pfp = f"{qfp}|{skey}"  # predictor key: costs are per (query, scenario)
+        exact_key = ("ladder", skey, qfp, "cond-exact")
+        if self.use_cache:
+            cached = self.session.cache.get(exact_key)
+            if cached is not None:
+                assert isinstance(cached, RungAnswer)
+                return replace(cached, cache_hit=True)
+        # Exact: gate on the grounded lineage size like the DPLL rung (Γ
+        # itself already counted at install; the gate bounds Q's side).
+        fits_exact = (
+            scenario.grounded_size(query) <= self.pdb.exact_lineage_limit
+            and self._fits(
+                self.predictor.predict(pfp, "cond-exact"),
+                self._remaining(start, deadline_s),
+            )
+        )
+        if fits_exact:
+            attempt = time.perf_counter()
+            answer = self._conditioned_rung(scenario.posterior(query), scenario_id)
+            self.predictor.observe(pfp, "cond-exact", time.perf_counter() - attempt)
+            if self.use_cache:
+                self.session.cache.put(exact_key, answer)
+            return answer
+        sampled_key = (
+            "ladder", skey, qfp, "cond-sampled", epsilon, delta, self.pdb.seed,
+        )
+        if self.use_cache:
+            cached = self.session.cache.get(sampled_key)
+            if cached is not None:
+                assert isinstance(cached, RungAnswer)
+                return replace(cached, cache_hit=True)
+        attempt = time.perf_counter()
+        try:
+            conditioned = scenario.sample_posterior(
+                query, epsilon=epsilon, delta=delta, rng=self.pdb.rng()
+            )
+        except FormSizeExceeded:
+            # Floor: the DNF is too large to sample over, so pay for the
+            # exact count however long it takes (flagged by _finish when
+            # it overruns; the predictor learns the observed cost).
+            answer = self._conditioned_rung(scenario.posterior(query), scenario_id)
+            self.predictor.observe(pfp, "cond-exact", time.perf_counter() - attempt)
+            if self.use_cache:
+                self.session.cache.put(exact_key, answer)
+            return answer
+        answer = self._conditioned_rung(conditioned, scenario_id)
+        self.predictor.observe(pfp, "cond-sampled", time.perf_counter() - attempt)
+        if self.use_cache:
+            self.session.cache.put(sampled_key, answer)
+        return answer
+
+    def _conditioned_rung(
+        self, answer: ConditionedAnswer, scenario_id: Optional[str]
+    ) -> RungAnswer:
+        return RungAnswer(
+            rung="exact" if answer.exact else "sampled",
+            probability=answer.probability,
+            guarantee=answer.guarantee,
+            exact=answer.exact,
+            method=answer.method,
+            detail=answer.detail,
+            epsilon=answer.epsilon,
+            delta=answer.delta,
+            samples=answer.samples,
+            scenario=scenario_id,
+            gamma_probability=answer.gamma_probability,
         )
 
     # -- rung 1: exact --------------------------------------------------------

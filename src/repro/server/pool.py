@@ -23,6 +23,17 @@ survivors — is settled with an explicit ``overloaded`` error. A killed
 worker therefore never yields a hung or corrupted reply, only a served
 or explicitly-shed one.
 
+Self-healing: unless constructed with ``restart=False``, a crashed
+worker is respawned with capped exponential backoff (first retry after
+``restart_backoff_s``, doubling up to ``restart_backoff_max_s``; the
+backoff never resets, so a flapping worker keeps slowing down). The
+replacement attaches the same shared shards, re-joins the ring on its
+``ready`` message, and transparently re-installs any conditioning
+scenario the next routed query names (query messages carry the full
+constraint specs). ``server_worker_restarts_total`` counts successful
+respawns; ``/healthz`` reflects them via the per-worker ``restarts``
+field and flips back from ``degraded`` once the replacement is up.
+
 Lock discipline: the single internal lock ranks
 :data:`~repro.sanitize.RANK_WORKER_POOL` — below every server and engine
 lock — and is held only for table/ring bookkeeping, never across queue
@@ -63,6 +74,12 @@ _MAX_REQUEUES = 1
 #: Virtual nodes per worker on the consistent-hash ring.
 _RING_REPLICAS = 64
 
+#: Worker gauge names whose pool-wide *sum* is meaningful; merged into
+#: ``server_workers_<name>`` alongside the monotone counter keys.
+_MERGED_GAUGES = frozenset(
+    {"engine_cache_entries", "scenario_circuits_cached", "scenarios_installed"}
+)
+
 
 @dataclass(frozen=True)
 class WorkerOptions:
@@ -78,21 +95,57 @@ class WorkerOptions:
     default_epsilon: float = 0.2
     default_delta: float = 0.05
     default_deadline_s: Optional[float] = None
+    scenario_cache_size: int = 32
 
 
 # -- worker process ----------------------------------------------------------
 
 
+def _error_payload(code: ErrorCode, error: BaseException) -> Dict[str, Any]:
+    return {
+        "ok": False,
+        "error": code.value,
+        "message": f"{type(error).__name__}: {error}",
+    }
+
+
 def _evaluate_in_worker(
-    ladder: Any, options: WorkerOptions, fields: Dict[str, Any]
+    ladder: Any,
+    options: WorkerOptions,
+    fields: Dict[str, Any],
+    scenarios: Any = None,
+    specs: Optional[List[str]] = None,
 ) -> Dict[str, Any]:
     """Mirror of ``QueryServer._evaluate``: run the ladder, shape the payload.
 
     Errors become error *payloads* (not exceptions): the parent settles
     the future with whatever comes back, keeping responses byte-identical
     to the in-process path where ``ProtocolError`` takes the same shape.
+    *specs* carries the scenario's constraint specs so a worker that never
+    saw the install (fresh, or restarted after a crash) conditions
+    transparently.
     """
+    from ..condition.core import InconsistentConstraints
+    from ..condition.session import StaleScenarioError, UnknownScenarioError
+
     request = QueryRequest(**fields)
+    scenario = None
+    if request.scenario is not None:
+        try:
+            if request.force:
+                scenario = scenarios.derived(
+                    request.scenario, dict(request.force), specs=specs
+                )
+            else:
+                scenario = scenarios.resolve(request.scenario, specs=specs)
+        except UnknownScenarioError as error:
+            return _error_payload(ErrorCode.UNKNOWN_SCENARIO, error)
+        except StaleScenarioError as error:
+            return _error_payload(ErrorCode.STALE_SCENARIO, error)
+        except InconsistentConstraints as error:
+            return _error_payload(ErrorCode.UNSATISFIABLE, error)
+        except (ValueError, NotImplementedError) as error:
+            return _error_payload(ErrorCode.BAD_REQUEST, error)
     pdb = ladder.session.pdb
     previous_backend = pdb.backend
     if request.backend is not None:
@@ -109,24 +162,39 @@ def _evaluate_in_worker(
             deadline_s=deadline_s,
             epsilon=request.epsilon,
             delta=request.delta,
+            scenario=scenario,
+            scenario_id=request.scenario,
         )
     except (ValueError, NotImplementedError) as error:
-        return {
-            "ok": False,
-            "error": ErrorCode.BAD_REQUEST.value,
-            "message": f"{type(error).__name__}: {error}",
-        }
+        return _error_payload(ErrorCode.BAD_REQUEST, error)
     except Exception as error:  # noqa: BLE001 - worker boundary
-        return {
-            "ok": False,
-            "error": ErrorCode.INTERNAL.value,
-            "message": f"{type(error).__name__}: {error}",
-        }
+        return _error_payload(ErrorCode.INTERNAL, error)
     finally:
         pdb.backend = previous_backend
     payload = answer.to_payload()
     payload["elapsed_ms"] = round(answer.elapsed_s * 1e3, 3)
     return payload
+
+
+def _condition_in_worker(scenarios: Any, specs: List[str]) -> Dict[str, Any]:
+    """Install a constraint set in this worker; shape the install payload."""
+    from ..condition.core import InconsistentConstraints
+
+    try:
+        scenario_id, scenario = scenarios.install(specs)
+    except InconsistentConstraints as error:
+        return _error_payload(ErrorCode.UNSATISFIABLE, error)
+    except (ValueError, NotImplementedError) as error:
+        return _error_payload(ErrorCode.BAD_REQUEST, error)
+    except Exception as error:  # noqa: BLE001 - worker boundary
+        return _error_payload(ErrorCode.INTERNAL, error)
+    return {
+        "ok": True,
+        "scenario": scenario_id,
+        "constraints": scenario.constraints.specs(),
+        "gamma_probability": scenario.gamma_probability,
+        "scenario_facts": scenario.variable_count,
+    }
 
 
 def _worker_main(
@@ -148,6 +216,7 @@ def _worker_main(
     signal.signal(signal.SIGINT, signal.SIG_IGN)
     pid = os.getpid()
     try:
+        from ..condition.session import ScenarioManager
         from ..engine.session import EngineSession
         from ..plans.vectorized import seed_scan_cache
         from .ladder import MethodLadder
@@ -170,12 +239,25 @@ def _worker_main(
             default_epsilon=options.default_epsilon,
             default_delta=options.default_delta,
         )
+        scenarios = ScenarioManager(
+            session.pdb, maxsize=options.scenario_cache_size
+        )
     except BaseException as error:  # noqa: BLE001 - report, then die
         response_queue.put(
             {"kind": "failed", "worker": index, "pid": pid, "message": repr(error)}
         )
         raise
     registry = get_registry()
+
+    def snapshot() -> Dict[str, float]:
+        # Publish this worker's occupancy gauges right before snapshotting
+        # so the parent's merged /metrics view stays current.
+        registry.gauge(
+            "engine_cache_entries", "engine cache entries resident"
+        ).set(len(session.cache))
+        scenarios.publish_metrics()
+        return registry.snapshot()
+
     response_queue.put({"kind": "ready", "worker": index, "pid": pid})
     while True:
         try:
@@ -186,20 +268,34 @@ def _worker_main(
                     "kind": "heartbeat",
                     "worker": index,
                     "pid": pid,
-                    "metrics": registry.snapshot(),
+                    "metrics": snapshot(),
                 }
             )
             continue
-        if message.get("op") == "stop":
+        op = message.get("op")
+        if op == "stop":
             break
-        payload = _evaluate_in_worker(ladder, options, message["request"])
+        if op == "drop":
+            # Fire-and-forget: the parent already answered the client.
+            scenarios.drop(str(message.get("scenario", "")))
+            continue
+        if op == "condition":
+            payload = _condition_in_worker(scenarios, list(message["specs"]))
+        else:
+            payload = _evaluate_in_worker(
+                ladder,
+                options,
+                message["request"],
+                scenarios,
+                message.get("specs"),
+            )
         response_queue.put(
             {
                 "kind": "answer",
                 "worker": index,
                 "seq": message["seq"],
                 "payload": payload,
-                "metrics": registry.snapshot(),
+                "metrics": snapshot(),
             }
         )
 
@@ -251,6 +347,9 @@ class _Worker:
     depth: int = 0  # submitted but not yet answered
     last_seen: float = 0.0
     metrics: Optional[Dict[str, float]] = None
+    restarts: int = 0  # successful respawns (ready received)
+    respawn_at: Optional[float] = None  # monotonic deadline for next respawn
+    backoff_s: float = 0.0  # current restart backoff (doubles, capped)
 
 
 @dataclass
@@ -279,6 +378,9 @@ class WorkerPool:
         options: Optional[WorkerOptions] = None,
         registry: Optional[MetricsRegistry] = None,
         start_timeout_s: float = 60.0,
+        restart: bool = True,
+        restart_backoff_s: float = 0.5,
+        restart_backoff_max_s: float = 30.0,
     ) -> None:
         if workers < 1:
             raise ValueError("worker pool needs at least one worker")
@@ -286,6 +388,9 @@ class WorkerPool:
         self.options = options if options is not None else WorkerOptions()
         self.registry = registry if registry is not None else get_registry()
         self._start_timeout_s = start_timeout_s
+        self._restart = restart
+        self._restart_backoff_s = restart_backoff_s
+        self._restart_backoff_max_s = restart_backoff_max_s
         self._lock = RankedLock(RANK_WORKER_POOL, "server.pool")
         self._workers: List[_Worker] = []
         self._pending: Dict[int, _Pending] = audited_dict("pool.pending")
@@ -293,12 +398,17 @@ class WorkerPool:
         self._seq = 0
         self._started = False
         self._stopping = False
+        self._context: Any = None
         self._response_queue: Any = None
         self._reader: Optional[threading.Thread] = None
         self._requested = workers
         reg = self.registry
         self._m_crashes = reg.counter(
             "server_worker_crashes_total", "worker processes found dead"
+        )
+        self._m_restarts = reg.counter(
+            "server_worker_restarts_total",
+            "crashed workers successfully respawned",
         )
         self._m_requeued = reg.counter(
             "server_requeued_total", "orphaned requests re-queued after a crash"
@@ -336,23 +446,11 @@ class WorkerPool:
         from ..engine.batch import mp_context
 
         context = mp_context()
+        self._context = context
         self._response_queue = context.Queue()
         now = time.monotonic()
         for index in range(self._requested):
-            request_queue = context.Queue()
-            process = context.Process(
-                target=_worker_main,
-                args=(
-                    index,
-                    self.handle,
-                    self.options,
-                    request_queue,
-                    self._response_queue,
-                ),
-                name=f"prodb-pool-{index}",
-                daemon=True,
-            )
-            process.start()
+            request_queue, process = self._spawn(index)
             with self._lock:
                 self._workers.append(
                     _Worker(index, process, request_queue, last_seen=now)
@@ -389,6 +487,24 @@ class WorkerPool:
             target=self._drain_responses, name="prodb-pool-reader", daemon=True
         )
         self._reader.start()
+
+    def _spawn(self, index: int) -> Tuple[Any, Any]:
+        """Create and start one worker process with a fresh request queue."""
+        request_queue = self._context.Queue()
+        process = self._context.Process(
+            target=_worker_main,
+            args=(
+                index,
+                self.handle,
+                self.options,
+                request_queue,
+                self._response_queue,
+            ),
+            name=f"prodb-pool-{index}",
+            daemon=True,
+        )
+        process.start()
+        return request_queue, process
 
     def shutdown(self, timeout_s: float = 10.0) -> None:
         """Stop the workers, settle unanswered futures, join everything."""
@@ -432,9 +548,58 @@ class WorkerPool:
 
     # -- submission ------------------------------------------------------------
 
-    def submit(self, request: QueryRequest) -> "Future[Dict[str, Any]]":
-        """Route *request* to its affinity worker; resolve via the reader."""
-        key = f"{self.handle.fingerprint}|{query_fingerprint(request.query)}"
+    def submit(
+        self,
+        request: QueryRequest,
+        *,
+        specs: Optional[List[str]] = None,
+    ) -> "Future[Dict[str, Any]]":
+        """Route *request* to its affinity worker; resolve via the reader.
+
+        A scenario-carrying request routes on ``(db, scenario_id)`` so
+        every query against one scenario lands on the worker holding its
+        compiled circuit; *specs* rides along for install-on-miss (fresh
+        or restarted workers re-condition transparently).
+        """
+        if request.scenario is not None:
+            key = f"{self.handle.fingerprint}|scenario:{request.scenario}"
+        else:
+            key = f"{self.handle.fingerprint}|{query_fingerprint(request.query)}"
+        message: Dict[str, Any] = {"op": "query", "request": asdict(request)}
+        if specs is not None:
+            message["specs"] = list(specs)
+        return self._submit_message(key, message)
+
+    def submit_condition(
+        self, scenario_id: str, specs: List[str]
+    ) -> "Future[Dict[str, Any]]":
+        """Install a constraint set on the scenario's ring owner."""
+        key = f"{self.handle.fingerprint}|scenario:{scenario_id}"
+        message: Dict[str, Any] = {
+            "op": "condition",
+            "scenario": scenario_id,
+            "specs": list(specs),
+        }
+        return self._submit_message(key, message)
+
+    def broadcast_drop(self, scenario_id: str) -> None:
+        """Tell every live worker to forget a scenario (fire-and-forget)."""
+        with self._lock:
+            if self._stopping:
+                return
+            targets = [
+                worker for worker in self._workers
+                if worker.alive and worker.process.is_alive()
+            ]
+        for worker in targets:
+            try:
+                worker.request_queue.put({"op": "drop", "scenario": scenario_id})
+            except (ValueError, OSError):  # pragma: no cover - queue closed
+                pass
+
+    def _submit_message(
+        self, key: str, message: Dict[str, Any]
+    ) -> "Future[Dict[str, Any]]":
         future: "Future[Dict[str, Any]]" = Future()
         with self._lock:
             if self._stopping:
@@ -450,7 +615,7 @@ class WorkerPool:
             worker = self._workers[index]
             seq = self._seq
             self._seq += 1
-            message = {"op": "query", "seq": seq, "request": asdict(request)}
+            message["seq"] = seq
             self._pending[seq] = _Pending(future, index, message)
             worker.depth += 1
         worker.request_queue.put(message)
@@ -472,6 +637,7 @@ class WorkerPool:
             if message is not None:
                 self._on_message(message)
             self._reap_dead()
+            self._maybe_restart()
 
     def _on_message(self, message: Dict[str, Any]) -> None:
         kind = message.get("kind")
@@ -487,6 +653,15 @@ class WorkerPool:
                 if kind == "answer":
                     entry = self._pending.pop(int(message["seq"]), None)
                     worker.depth = max(0, worker.depth - 1)
+                elif kind == "ready" and not worker.alive:
+                    # A respawned replacement came up: re-join the ring.
+                    worker.alive = True
+                    worker.pid = int(message["pid"])
+                    worker.depth = 0
+                    worker.respawn_at = None
+                    worker.restarts += 1
+                    self._ring.add(worker.index)
+                    self._m_restarts.inc()
         if entry is not None and not entry.future.done():
             entry.future.set_result(message["payload"])
 
@@ -502,6 +677,14 @@ class WorkerPool:
                 worker.depth = 0
                 self._ring.remove(worker.index)
                 self._m_crashes.inc()
+                if self._restart and not self._stopping:
+                    # Capped exponential backoff; never reset, so a
+                    # crash-looping worker keeps slowing down.
+                    worker.backoff_s = min(
+                        max(worker.backoff_s * 2.0, self._restart_backoff_s),
+                        self._restart_backoff_max_s,
+                    )
+                    worker.respawn_at = time.monotonic() + worker.backoff_s
                 orphan_seqs = [
                     seq
                     for seq, entry in self._pending.items()
@@ -534,6 +717,54 @@ class WorkerPool:
                     )
                 )
 
+    def _maybe_restart(self) -> None:
+        """Respawn crashed workers whose backoff deadline has passed.
+
+        Runs on the reader thread only, so claiming a worker (clearing
+        ``respawn_at`` under the lock) cannot race another restarter; the
+        spawn itself happens outside the lock. The replacement joins the
+        ring when its ``ready`` message arrives (:meth:`_on_message`) —
+        a replacement that dies during init is reaped and rescheduled
+        with doubled backoff like any other crash.
+        """
+        now = time.monotonic()
+        claimed: List[_Worker] = []
+        with self._lock:
+            if self._stopping or not self._restart:
+                return
+            for worker in self._workers:
+                if worker.alive:
+                    continue
+                if worker.respawn_at is None:
+                    # No restart pending: either a replacement is still
+                    # initializing (process alive, ready not yet seen) or
+                    # it died during init — reschedule the latter with
+                    # doubled backoff, since _reap_dead only watches
+                    # ring-joined workers.
+                    if not worker.process.is_alive():
+                        worker.backoff_s = min(
+                            max(worker.backoff_s * 2.0, self._restart_backoff_s),
+                            self._restart_backoff_max_s,
+                        )
+                        worker.respawn_at = now + worker.backoff_s
+                    continue
+                if worker.respawn_at <= now:
+                    worker.respawn_at = None
+                    claimed.append(worker)
+        for worker in claimed:
+            old_queue = worker.request_queue
+            request_queue, process = self._spawn(worker.index)
+            with self._lock:
+                worker.process = process
+                worker.request_queue = request_queue
+                worker.pid = None
+                worker.last_seen = time.monotonic()
+            try:
+                old_queue.cancel_join_thread()
+                old_queue.close()
+            except (ValueError, OSError):  # pragma: no cover - already closed
+                pass
+
     # -- observability ---------------------------------------------------------
 
     def workers_info(self) -> List[Dict[str, Any]]:
@@ -549,6 +780,7 @@ class WorkerPool:
                         "alive": worker.alive and worker.process.is_alive(),
                         "queue_depth": worker.depth,
                         "heartbeat_age_s": round(now - worker.last_seen, 3),
+                        "restarts": worker.restarts,
                     }
                 )
         return out
@@ -565,7 +797,9 @@ class WorkerPool:
 
         Quantile-style snapshot keys cannot be merged by summation, so
         only monotone ``*_total`` / ``*_count`` / ``*_sum`` keys aggregate
-        into ``server_workers_<name>``.
+        into ``server_workers_<name>`` — plus the occupancy gauges in
+        ``_MERGED_GAUGES``, whose pool-wide sum is the meaningful figure
+        (aggregate cache capacity is the sum of per-worker caches).
         """
         now = time.monotonic()
         merged: Dict[str, float] = {}
@@ -576,7 +810,10 @@ class WorkerPool:
                 self._m_depth[worker.index].set(float(worker.depth))
                 self._m_beat_age[worker.index].set(round(now - worker.last_seen, 3))
                 for name, value in (worker.metrics or {}).items():
-                    if name.endswith(("_total", "_count", "_sum")):
+                    if (
+                        name.endswith(("_total", "_count", "_sum"))
+                        or name in _MERGED_GAUGES
+                    ):
                         merged[name] = merged.get(name, 0.0) + float(value)
         for name, value in merged.items():
             self.registry.gauge(

@@ -22,8 +22,17 @@ threads; results fan back out through asyncio futures. Three mechanics:
   every socket.
 
 Protocol sniffing: a connection whose first line starts with an HTTP verb
-is served by the shim (``POST /query``, ``GET /healthz``,
-``GET /metrics``); anything else is treated as newline-delimited JSON.
+is served by the shim (``POST /query``, ``POST /condition``,
+``DELETE /condition/<id>``, ``GET /healthz``, ``GET /metrics``); anything
+else is treated as newline-delimited JSON.
+
+**Scenarios** (conditioning): ``op: condition`` installs a constraint set
+through the :class:`~repro.condition.session.ScenarioManager`; queries
+naming a ``scenario`` evaluate ``P(Q | Γ)`` against the installed
+compiled circuit, and ``force`` derives a what-if cofactor. In processes
+mode the parent registers scenario *specs* only; the compile happens on
+the scenario's consistent-hash ring owner, and queries ship the specs so
+a respawned worker re-installs transparently.
 
 All shared containers in this module are confined to the event-loop
 thread (single-threaded by construction), which is the concurrency
@@ -40,13 +49,23 @@ from dataclasses import dataclass, field
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Dict, Optional, Set
 
+from ..condition.core import InconsistentConstraints
+from ..condition.session import (
+    ScenarioManager,
+    StaleScenarioError,
+    UnknownScenarioError,
+    scenario_id_of,
+)
 from ..engine.session import EngineSession
 from ..obs import MetricsRegistry, get_registry
 from .ladder import MethodLadder
 from .protocol import (
+    ConditionRequest,
+    DropConditionRequest,
     ErrorCode,
     ProtocolError,
     QueryRequest,
+    Request,
     decode_request,
     encode,
     error_response,
@@ -83,6 +102,8 @@ class ServerConfig:
     default_epsilon: float = 0.2
     default_delta: float = 0.05
     worker_cache_size: Optional[int] = None  # processes mode; None: parent's size
+    scenario_cache_size: int = 32  # compiled conditioned circuits kept (LRU)
+    restart_workers: bool = True  # processes mode: respawn crashed workers
 
 
 @dataclass
@@ -127,6 +148,11 @@ class QueryServer:
                 f"unknown server mode {self.config.mode!r}; "
                 "expected 'threads' or 'processes'"
             )
+        self.scenarios = ScenarioManager(
+            session.pdb,
+            maxsize=self.config.scenario_cache_size,
+            registry=self.registry,
+        )
         self._server: Optional[asyncio.AbstractServer] = None
         self._executor: Optional[ThreadPoolExecutor] = None
         self._pool: Optional[Any] = None
@@ -211,6 +237,7 @@ class QueryServer:
                 default_epsilon=self.config.default_epsilon,
                 default_delta=self.config.default_delta,
                 default_deadline_s=self.config.default_deadline_s,
+                scenario_cache_size=self.config.scenario_cache_size,
             )
             self._shards = publish(self.session.tid)
             pool = WorkerPool(
@@ -218,6 +245,7 @@ class QueryServer:
                 self.config.workers,
                 options=options,
                 registry=self.registry,
+                restart=self.config.restart_workers,
             )
             loop = asyncio.get_running_loop()
             try:
@@ -336,7 +364,12 @@ class QueryServer:
                 raise ProtocolError(
                     ErrorCode.SHUTTING_DOWN, "server is draining; retry elsewhere"
                 )
-            response = await self._admit(request)
+            if isinstance(request, ConditionRequest):
+                response = await self._admit_condition(request)
+            elif isinstance(request, DropConditionRequest):
+                response = await self._drop_condition(request)
+            else:
+                response = await self._admit(request)
         except ProtocolError as error:
             self._m_errors.inc()
             response = error_response(error.code, error.message, request_id)
@@ -379,7 +412,8 @@ class QueryServer:
         self._m_inflight.set(len(self._inflight))
         if self._pool is not None:
             try:
-                worker_future = self._pool.submit(request)
+                specs = self._scenario_specs(request)
+                worker_future = self._pool.submit(request, specs=specs)
             except ProtocolError:
                 self._inflight.pop(key, None)  # prodb-lint: lockfree -- event-loop confined
                 self._m_inflight.set(len(self._inflight))
@@ -446,8 +480,50 @@ class QueryServer:
                 "the computation keeps running for coalesced peers",
             ) from None
 
+    def _scenario_specs(self, request: QueryRequest) -> Optional[tuple]:
+        """Constraint specs to ship with a routed scenario query (processes).
+
+        Workers re-install evicted or crash-lost scenarios from these, so a
+        re-routed request after a worker respawn conditions transparently.
+        """
+        if request.scenario is None:
+            return None
+        try:
+            return self.scenarios.constraints_of(request.scenario).specs()
+        except UnknownScenarioError:
+            raise ProtocolError(
+                ErrorCode.UNKNOWN_SCENARIO,
+                f"unknown scenario {request.scenario!r}; install it with "
+                "op 'condition' first",
+            ) from None
+
+    def _resolve_scenario(self, request: QueryRequest) -> Any:
+        """Look up (and possibly derive) the scenario a request names.
+
+        Raised errors carry their own :class:`ProtocolError` codes, so this
+        must run *before* the generic ``ValueError -> bad_request`` wrapper
+        in :meth:`_evaluate` (the scenario exceptions subclass ValueError).
+        """
+        if request.scenario is None:
+            return None
+        try:
+            if request.force is not None:
+                return self.scenarios.derived(
+                    request.scenario, dict(request.force)
+                )
+            return self.scenarios.resolve(request.scenario)
+        except UnknownScenarioError as error:
+            raise ProtocolError(
+                ErrorCode.UNKNOWN_SCENARIO, str(error)
+            ) from None
+        except StaleScenarioError as error:
+            raise ProtocolError(ErrorCode.STALE_SCENARIO, str(error)) from None
+        except InconsistentConstraints as error:
+            raise ProtocolError(ErrorCode.UNSATISFIABLE, str(error)) from None
+
     def _evaluate(self, request: QueryRequest) -> Dict[str, Any]:
         """Worker-thread entry: run the ladder, shape the response."""
+        scenario = self._resolve_scenario(request)
         pdb = self.session.pdb
         previous_backend = pdb.backend
         if request.backend is not None:
@@ -464,6 +540,8 @@ class QueryServer:
                 deadline_s=deadline_s,
                 epsilon=request.epsilon,
                 delta=request.delta,
+                scenario=scenario,
+                scenario_id=request.scenario,
             )
         except (ValueError, NotImplementedError) as error:
             raise ProtocolError(
@@ -474,6 +552,75 @@ class QueryServer:
         payload = answer.to_payload()
         payload["elapsed_ms"] = round(answer.elapsed_s * 1e3, 3)
         return payload
+
+    # -- scenario management --------------------------------------------------
+
+    async def _admit_condition(self, request: ConditionRequest) -> Dict[str, Any]:
+        """Install a constraint set; returns its content-addressed id.
+
+        Threads mode compiles in the executor (compilation can be heavy);
+        processes mode registers the specs parent-side and routes the
+        compile to the scenario's ring owner.
+        """
+        from ..condition.core import ConstraintSet
+
+        loop = asyncio.get_running_loop()
+        try:
+            gamma = ConstraintSet.parse(request.constraints)
+        except ValueError as error:
+            raise ProtocolError(
+                ErrorCode.BAD_REQUEST, f"bad constraint: {error}"
+            ) from error
+        if self._pool is not None:
+            sid = scenario_id_of(self.session.tid.fingerprint(), gamma)
+            worker_future = self._pool.submit_condition(sid, gamma.specs())
+            payload = await asyncio.wrap_future(worker_future, loop=loop)
+            if not payload.get("ok"):
+                self._m_errors.inc()
+                if request.id is not None:
+                    payload = dict(payload)
+                    payload["id"] = request.id
+                return payload
+            self.scenarios.register(gamma)
+        else:
+            try:
+                sid, scenario = await loop.run_in_executor(
+                    self._executor, self.scenarios.install, gamma
+                )
+            except InconsistentConstraints as error:
+                raise ProtocolError(
+                    ErrorCode.UNSATISFIABLE, str(error)
+                ) from None
+            except (ValueError, NotImplementedError) as error:
+                raise ProtocolError(
+                    ErrorCode.BAD_REQUEST, f"{type(error).__name__}: {error}"
+                ) from error
+            payload = {
+                "ok": True,
+                "scenario": sid,
+                "gamma_probability": scenario.gamma_probability,
+                "constraints": list(gamma.specs()),
+            }
+        response = dict(payload)
+        if request.id is not None:
+            response["id"] = request.id
+        self._m_answers.inc()
+        return response
+
+    async def _drop_condition(self, request: DropConditionRequest) -> Dict[str, Any]:
+        """Uninstall a scenario everywhere (idempotent)."""
+        dropped = self.scenarios.drop(request.scenario)
+        if self._pool is not None:
+            self._pool.broadcast_drop(request.scenario)
+        response: Dict[str, Any] = {
+            "ok": True,
+            "scenario": request.scenario,
+            "dropped": dropped,
+        }
+        if request.id is not None:
+            response["id"] = request.id
+        self._m_answers.inc()
+        return response
 
     # -- HTTP shim ------------------------------------------------------------
 
@@ -504,6 +651,7 @@ class QueryServer:
             payload: Dict[str, Any] = {
                 "status": status,
                 "inflight": len(self._inflight),
+                "scenarios": self.scenarios.scenario_count(),
             }
             code = 200
             if self._pool is not None:
@@ -519,6 +667,10 @@ class QueryServer:
         elif method == "GET" and target == "/metrics":
             if self._pool is not None:
                 self._pool.refresh_metrics()
+            self.registry.gauge(
+                "engine_cache_entries", "answers in the session LRU cache"
+            ).set(float(len(self.session.cache)))
+            self.scenarios.publish_metrics()
             await self._http_reply(
                 writer, 200, "text/plain; version=0.0.4", self.registry.render_text()
             )
@@ -533,18 +685,46 @@ class QueryServer:
             await self._http_reply(
                 writer, code, "application/json", encode(response) + "\n"
             )
+        elif method == "POST" and target == "/condition":
+            body_bytes = (
+                await reader.readexactly(content_length) if content_length else b""
+            )
+            # Same JSON as the NDJSON op, with "op" implied by the route.
+            line = _with_op(
+                body_bytes.decode("utf-8", errors="replace"), "condition"
+            )
+            response = await self._handle_request(line)
+            code = 200 if response.get("ok") else _http_status(response)
+            await self._http_reply(
+                writer, code, "application/json", encode(response) + "\n"
+            )
+        elif method == "DELETE" and target.startswith("/condition/"):
+            scenario = target[len("/condition/") :]
+            line = encode({"op": "drop_condition", "scenario": scenario})
+            response = await self._handle_request(line)
+            code = 200 if response.get("ok") else _http_status(response)
+            await self._http_reply(
+                writer, code, "application/json", encode(response) + "\n"
+            )
         else:
             await self._http_reply(
                 writer,
                 404,
                 "text/plain",
-                "prodb endpoints: POST /query, GET /healthz, GET /metrics\n",
+                "prodb endpoints: POST /query, POST /condition, "
+                "DELETE /condition/<id>, GET /healthz, GET /metrics\n",
             )
 
     async def _http_reply(
         self, writer: asyncio.StreamWriter, status: int, ctype: str, body: str
     ) -> None:
-        reason = {200: "OK", 400: "Bad Request", 404: "Not Found", 503: "Unavailable"}
+        reason = {
+            200: "OK",
+            400: "Bad Request",
+            404: "Not Found",
+            409: "Conflict",
+            503: "Unavailable",
+        }
         payload = body.encode()
         head = (
             f"HTTP/1.1 {status} {reason.get(status, 'Status')}\r\n"
@@ -560,9 +740,25 @@ def _http_status(response: Dict[str, Any]) -> int:
     code = response.get("error")
     if code in (ErrorCode.OVERLOADED.value, ErrorCode.SHUTTING_DOWN.value):
         return 503
-    if code == ErrorCode.BAD_REQUEST.value:
+    if code in (ErrorCode.BAD_REQUEST.value, ErrorCode.UNSATISFIABLE.value):
         return 400
+    if code == ErrorCode.UNKNOWN_SCENARIO.value:
+        return 404
+    if code == ErrorCode.STALE_SCENARIO.value:
+        return 409
     return 500
+
+
+def _with_op(body: str, op: str) -> str:
+    """Inject the op a REST route implies into a JSON request body."""
+    try:
+        payload = json.loads(body) if body.strip() else {}
+    except json.JSONDecodeError:
+        return body  # let decode_request produce the uniform error
+    if not isinstance(payload, dict):
+        return body
+    payload.setdefault("op", op)
+    return encode(payload)
 
 
 class ServerThread:

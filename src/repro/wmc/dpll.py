@@ -79,6 +79,13 @@ class DPLLCounter:
     use_or_components: bool = False
     variable_order: Optional[Sequence[int]] = None
     record_trace: bool = False
+    #: When set, ``run`` reads and extends this mapping instead of a fresh
+    #: per-run dict, so counts of shared subformulas persist across runs.
+    #: Only sound while the weights stay fixed (node ids identify formulas,
+    #: not their probabilities) and with ``record_trace=False`` (trace node
+    #: ids are circuit-local). The conditioning layer uses this to count a
+    #: constraint circuit once and amortize it over every posterior query.
+    external_cache: Optional[dict] = None
 
     # Keyed by interned node id: an O(1) int lookup per call, where the
     # pre-kernel counter hashed an O(|subtree|) nested structural key.
@@ -90,7 +97,15 @@ class DPLLCounter:
             raise ValueError(
                 "or-components fall outside decision-DNNF; disable one option"
             )
-        self._cache = {}
+        if self.external_cache is not None:
+            if self.record_trace:
+                raise ValueError(
+                    "external_cache entries carry no trace nodes; "
+                    "disable record_trace to share counts across runs"
+                )
+            self._cache = self.external_cache
+        else:
+            self._cache = {}
         statistics = DPLLStatistics()
         kernel_before = kernel_statistics()
         circuit = Circuit() if self.record_trace else None

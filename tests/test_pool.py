@@ -218,8 +218,14 @@ def test_metrics_expose_worker_gauges(process_server):
 
 
 def test_killed_worker_yields_only_explicit_responses():
-    """SIGKILL mid-stream: every request is answered or explicitly shed."""
-    with _server("processes", request_timeout_s=60.0) as thread:
+    """SIGKILL mid-stream: every request is answered or explicitly shed.
+
+    Auto-restart is off so the dead worker stays dead — this test pins the
+    degraded-but-correct behavior (503 healthz, survivor still answering).
+    """
+    with _server(
+        "processes", request_timeout_s=60.0, restart_workers=False
+    ) as thread:
         pool = thread.server._pool
         responses = []
         lock = threading.Lock()
@@ -270,7 +276,7 @@ def test_killed_worker_yields_only_explicit_responses():
 
 
 def test_healthz_returns_503_when_worker_dead():
-    with _server("processes") as thread:
+    with _server("processes", restart_workers=False) as thread:
         victim = thread.server._pool.workers_info()[1]["pid"]
         os.kill(victim, signal.SIGKILL)
         deadline = time.time() + 10
@@ -283,6 +289,41 @@ def test_healthz_returns_503_when_worker_dead():
                 break
             time.sleep(0.1)
         assert "503" in status_line, status_line
+
+
+def test_crashed_worker_is_respawned():
+    """With restart on (the default) a SIGKILLed worker comes back.
+
+    The replacement re-joins the hash ring, healthz returns to 200/ok, and
+    ``server_worker_restarts_total`` counts the respawn.
+    """
+    with _server("processes") as thread:
+        pool = thread.server._pool
+        victim = pool.workers_info()[0]["pid"]
+        os.kill(victim, signal.SIGKILL)
+        deadline = time.time() + 30
+        recovered = False
+        while time.time() < deadline:
+            status_line, body = _http_raw("127.0.0.1", thread.port, "/healthz")
+            if "200" in status_line:
+                health = json.loads(body)
+                workers = health["workers"]
+                if (
+                    health["status"] == "ok"
+                    and all(worker["alive"] for worker in workers)
+                    and any(worker["pid"] != victim for worker in workers)
+                    and any(worker["restarts"] >= 1 for worker in workers)
+                ):
+                    recovered = True
+                    break
+            time.sleep(0.1)
+        assert recovered, "killed worker was not respawned within 30s"
+        registry = thread.server.registry
+        assert registry.snapshot().get("server_worker_restarts_total", 0) >= 1
+        # The pool routes through the replacement without shedding.
+        with ServerClient("127.0.0.1", thread.port) as client:
+            for query in QUERIES:
+                assert client.query(query)["ok"]
 
 
 # -- drain --------------------------------------------------------------------

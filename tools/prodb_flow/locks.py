@@ -50,7 +50,7 @@ from .report import FlowFinding, LockEdge, Related
 #: it only bounds pathological fixture inputs.
 MAX_DEPTH = 40
 
-_RANKED_SCOPE_DIRS = {"engine", "server", "obs", "booleans", "relational"}
+_RANKED_SCOPE_DIRS = {"condition", "engine", "server", "obs", "booleans", "relational"}
 
 
 @dataclass(frozen=True)

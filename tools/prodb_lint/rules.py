@@ -153,6 +153,7 @@ class PL002UnguardedSharedMutation(Rule):
             (
                 "src/repro/engine/",
                 "src/repro/booleans/",
+                "src/repro/condition/",
                 "src/repro/server/",
                 "src/repro/obs/",
                 "src/repro/relational/shm.py",

@@ -89,7 +89,40 @@ def main() -> None:
                 fail(f"malformed query must yield bad_request: {bad}")
             print(f"  bad request rejected: {bad['message']}")
 
-        # 4. HTTP shim: health, one POSTed query, and the metrics scrape.
+            # 4. Conditioning: install Γ, query through it, what-if, drop.
+            installed = client.condition(['+R("a1")', "R(x), S(x,y)"])
+            if not installed.get("ok"):
+                fail(f"condition install failed: {installed}")
+            sid = installed["scenario"]
+            again = client.condition('R(x), S(x,y) ; +R("a1")')
+            if again.get("scenario") != sid:
+                fail(f"condition install must be idempotent: {again}")
+            conditioned = client.query('R("a2")', scenario=sid)
+            if not conditioned.get("ok") or conditioned.get("scenario") != sid:
+                fail(f"conditioned query failed: {conditioned}")
+            print(
+                f"  conditioned: P(R(a2)|Γ)={conditioned['probability']:.6f} "
+                f"P(Γ)={conditioned.get('gamma_probability', 0):.6f} "
+                f"[{conditioned['method']}]"
+            )
+            whatif = client.query(
+                'R("a2")', scenario=sid, force={'S("a1","b1")': True}
+            )
+            if not whatif.get("ok"):
+                fail(f"what-if query failed: {whatif}")
+            print(f"  what-if (cofactor): P={whatif['probability']:.6f}")
+            missing = client.query('R("a2")', scenario="s" + "f" * 16)
+            if missing.get("ok") or missing.get("error") != "unknown_scenario":
+                fail(f"unknown scenario must yield unknown_scenario: {missing}")
+            dropped = client.drop_condition(sid)
+            if not dropped.get("ok") or dropped.get("dropped") is not True:
+                fail(f"drop_condition failed: {dropped}")
+            redropped = client.drop_condition(sid)
+            if redropped.get("dropped") is not False:
+                fail(f"drop must be idempotent: {redropped}")
+            print(f"  scenario {sid} installed, queried, derived, dropped")
+
+        # 5. HTTP shim: health, one POSTed query, and the metrics scrape.
         health = http_get(host, port, "/healthz")
         if '"status": "ok"' not in health:
             fail(f"unexpected /healthz body: {health!r}")
@@ -98,6 +131,10 @@ def main() -> None:
             "server_requests_total",
             "server_answers_total",
             "server_request_seconds",
+            "scenario_installs_total",
+            "scenarios_installed",
+            "scenario_circuits_cached",
+            "engine_cache_entries",
         ]
         if pooled:
             # In pool mode engine counters live in the workers and come back
